@@ -1,0 +1,100 @@
+"""Fig 6 / §2.4 — storage quantization of floats and embeddings.
+
+Paper: FP16/BF16/FP8 storage halves or quarters storage, I/O and
+bandwidth; different formats trade precision per Fig 6's bit budgets.
+Reproduction: quantize a normalized embedding table to every format,
+reporting storage ratio and measured error, plus quantize/dequantize
+throughput and the end-to-end file-size effect.
+"""
+
+import numpy as np
+from reporting import report
+
+from repro.core import BullionWriter, Table
+from repro.iosim import SimulatedStorage
+from repro.quantization import (
+    BIT_LAYOUT,
+    FloatFormat,
+    QuantizationError,
+    dequantize,
+    quantize,
+)
+from repro.workloads import EmbeddingConfig, generate_embeddings
+
+EMB = generate_embeddings(EmbeddingConfig(n_vectors=4000, dim=32, seed=2))
+FLAT = EMB.reshape(-1)
+
+
+def test_bench_quantize_fp16(benchmark):
+    out = benchmark(quantize, FLAT, FloatFormat.FP16)
+    assert out.dtype == np.float16
+
+
+def test_bench_quantize_bf16(benchmark):
+    out = benchmark(quantize, FLAT, FloatFormat.BF16)
+    assert out.dtype == np.uint16
+
+
+def test_bench_quantize_fp8_e4m3(benchmark):
+    out = benchmark(quantize, FLAT, FloatFormat.FP8_E4M3)
+    assert out.dtype == np.uint8
+
+
+def test_bench_dequantize_fp8_e4m3(benchmark):
+    codes = quantize(FLAT, FloatFormat.FP8_E4M3)
+    out = benchmark(dequantize, codes, FloatFormat.FP8_E4M3)
+    assert out.dtype == np.float32
+
+
+def test_bench_fig6_error_storage_table(benchmark):
+    formats = [
+        FloatFormat.FP32,
+        FloatFormat.TF32,
+        FloatFormat.FP16,
+        FloatFormat.BF16,
+        FloatFormat.FP8_E5M2,
+        FloatFormat.FP8_E4M3,
+    ]
+    errors = {f: QuantizationError.measure(FLAT, f) for f in formats}
+    benchmark(QuantizationError.measure, FLAT, FloatFormat.FP16)
+
+    lines = [
+        "format     sign/exp/frac  bytes  rel_storage  mean_rel_err  max_abs_err"
+    ]
+    for fmt in formats:
+        s, e, m = BIT_LAYOUT[fmt]
+        err = errors[fmt]
+        lines.append(
+            f"{fmt.value:9s}  {s}/{e}/{m:>2}         "
+            f"{int(err.storage_ratio * 4):4d}  {err.storage_ratio:11.2f}  "
+            f"{err.mean_relative_error:12.2e}  {err.max_abs_error:11.2e}"
+        )
+    lines.append(
+        "paper: 'reduction to 1 or 2 bytes per float can halve or quarter "
+        "storage costs'"
+    )
+    report("fig6_quantization", lines)
+
+    # shape: error grows as mantissa shrinks; storage is 1/2 and 1/4
+    assert (
+        errors[FloatFormat.FP16].mean_relative_error
+        < errors[FloatFormat.BF16].mean_relative_error
+        < errors[FloatFormat.FP8_E4M3].mean_relative_error
+    )
+    assert errors[FloatFormat.FP16].storage_ratio == 0.5
+    assert errors[FloatFormat.FP8_E4M3].storage_ratio == 0.25
+
+
+def test_bench_file_size_effect(benchmark):
+    """End-to-end: FP16 embedding files are ~half the FP32 files."""
+    cols32 = {f"d{i}": EMB[:, i].copy() for i in range(8)}
+    cols16 = {k: quantize(v, FloatFormat.FP16) for k, v in cols32.items()}
+
+    def write(cols):
+        dev = SimulatedStorage()
+        BullionWriter(dev).write(Table(dict(cols)))
+        return dev.size
+
+    size16 = benchmark(write, cols16)
+    size32 = write(cols32)
+    assert size16 < size32 * 0.6

@@ -1,0 +1,37 @@
+"""Table 1 — statistical breakdown of column types in an Ad Parquet file.
+
+Paper: the census of ByteDance's ads table (16,256 ``list<int64>``
+columns, 17,733 total). Reproduction: the workload generator must emit
+a schema with *exactly* that census, and schema construction/flattening
+must be cheap enough to do per-file.
+"""
+
+from reporting import report
+
+from repro.workloads import (
+    TABLE1_BREAKDOWN,
+    TABLE1_TOTAL_COLUMNS,
+    build_ads_schema,
+    census_of,
+)
+
+
+def test_bench_build_full_ads_schema(benchmark):
+    schema = benchmark(build_ads_schema)
+    census = census_of(schema)
+    assert census == TABLE1_BREAKDOWN
+    assert len(schema.fields) == TABLE1_TOTAL_COLUMNS
+    width = max(len(t) for t in census)
+    lines = [f"{'column type':{width}s}  paper  generated"]
+    for type_str, count in TABLE1_BREAKDOWN.items():
+        lines.append(f"{type_str:{width}s}  {count:5d}  {census[type_str]:9d}")
+    lines.append(f"{'TOTAL':{width}s}  {TABLE1_TOTAL_COLUMNS:5d}  "
+                 f"{sum(census.values()):9d}")
+    report("table1_ads_schema", lines)
+
+
+def test_bench_flatten_physical_columns(benchmark):
+    schema = build_ads_schema()
+    cols = benchmark(schema.physical_columns)
+    # structs flatten into one stream per field, so physical >= logical
+    assert len(cols) >= TABLE1_TOTAL_COLUMNS

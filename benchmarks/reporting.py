@@ -1,0 +1,22 @@
+"""Shared reporting helper for the benchmark suite.
+
+Every bench regenerates one of the paper's tables/figures and records
+its series here: printed to stdout (visible with ``-s``) and persisted
+under ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite
+measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(experiment: str, lines: list[str]) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    banner = f"\n=== {experiment} ===\n{text}\n"
+    print(banner)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as f:
+        f.write(text + "\n")

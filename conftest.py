@@ -1,0 +1,11 @@
+"""Make the src layout importable even without an editable install.
+
+Offline environments may lack the ``wheel`` package needed for
+``pip install -e .``; inserting ``src`` here keeps ``pytest tests/`` and
+``pytest benchmarks/`` working either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

@@ -1,0 +1,55 @@
+"""Cascading encoding selection (§2.6, Table 2).
+
+Feeds the selector a handful of realistically-shaped ML columns and
+prints which composition it picks per column, under two different
+linear objectives (training reads vs cold storage).
+
+Run:  python examples/cascading_compression.py
+"""
+
+import numpy as np
+
+from repro.cascading import COLD_STORAGE, TRAINING_READS, select_encoding
+from repro.cascading.objective import raw_size_bytes
+from repro.workloads import SlidingWindowConfig, generate_click_sequences
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    n = 8000
+    windows, _ = generate_click_sequences(
+        SlidingWindowConfig(n_users=10, events_per_user=20, window_size=128)
+    )
+    columns = {
+        "campaign_id (runs)": np.resize(
+            np.repeat(rng.integers(0, 10, 200), rng.integers(10, 80, 200)), n
+        ).astype(np.int64),
+        "event_ts (sorted)": np.sort(rng.integers(0, 10**9, n)).astype(np.int64),
+        "bid_price (decimal)": np.round(rng.uniform(0.01, 9.99, n), 2),
+        "embedding_dim (gauss)": np.tanh(rng.normal(size=n)).astype(np.float32),
+        "landing_url (strings)": [
+            f"https://ads.example/{i % 333}/click".encode() for i in range(4000)
+        ],
+        "is_fraud (sparse bool)": rng.random(n) < 0.005,
+        "clk_seq_cids (windows)": windows,
+    }
+
+    for label, weights in (
+        ("objective: training reads (read-heavy)", TRAINING_READS),
+        ("objective: cold storage (size-heavy)", COLD_STORAGE),
+    ):
+        print(f"\n{label}")
+        print(f"{'column':26s} {'chosen cascade':32s} {'raw':>10} "
+              f"{'encoded':>10}  ratio")
+        for name, data in columns.items():
+            result = select_encoding(data, weights=weights)
+            raw = raw_size_bytes(data)
+            print(
+                f"{name:26s} {result.description:32s} {raw:>10,} "
+                f"{result.best.encoded_bytes:>10,}  "
+                f"{raw / result.best.encoded_bytes:5.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

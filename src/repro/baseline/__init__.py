@@ -1,0 +1,33 @@
+"""Parquet-like baseline format (the Fig 5 / deletion-bench comparator).
+
+A faithful structural stand-in for Apache Parquet: same file layout,
+same Thrift-compact-style footer that must be fully deserialized on
+open. Data pages share Bullion's encoding catalog so experiments
+isolate exactly the metadata-design variable. See DESIGN.md §3.
+"""
+
+from repro.baseline.format import (
+    PARQUET_MAGIC,
+    ParquetLikeReader,
+    ParquetLikeWriter,
+)
+from repro.baseline.metadata import (
+    ColumnMetaData,
+    FileMetaData,
+    RowGroup,
+    SchemaElement,
+    parse_metadata,
+    serialize_metadata,
+)
+
+__all__ = [
+    "PARQUET_MAGIC",
+    "ParquetLikeReader",
+    "ParquetLikeWriter",
+    "ColumnMetaData",
+    "FileMetaData",
+    "RowGroup",
+    "SchemaElement",
+    "parse_metadata",
+    "serialize_metadata",
+]

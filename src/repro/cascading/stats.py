@@ -1,0 +1,125 @@
+"""Sampling-based column statistics for encoding selection.
+
+§2.6: "the search space for optimal encoding combinations grows
+significantly as the catalog expands, requiring systems like Procella
+and BtrBlocks to employ sampling-based distribution analysis and
+heuristic approaches for encoding selection."
+
+``collect_stats`` inspects a bounded sample (contiguous head + strided
+tail, so both local runs and global cardinality are represented) and
+produces the signals the selector's heuristics key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encodings.base import Kind, infer_kind
+
+SAMPLE_SIZE = 4096
+
+
+@dataclass
+class ColumnStats:
+    """Distribution fingerprint of a (sampled) column."""
+
+    kind: Kind
+    n: int
+    n_sampled: int
+    n_unique: int = 0
+    min_value: float = 0.0
+    max_value: float = 0.0
+    non_negative: bool = True
+    avg_run_length: float = 1.0
+    sorted_fraction: float = 0.0  # fraction of non-decreasing steps
+    mode_fraction: float = 0.0  # share of the most frequent value
+    decimal_fraction: float = 0.0  # floats that are short decimals
+    avg_byte_length: float = 0.0  # BYTES only
+    true_fraction: float = 0.0  # BOOL only
+    avg_list_length: float = 0.0  # LIST_* only
+    window_overlap: float = 0.0  # LIST_INT: consecutive-row overlap
+
+
+def take_sample(values, limit: int = SAMPLE_SIZE):
+    """Head block + strided remainder, preserving local structure."""
+    n = len(values)
+    if n <= limit:
+        return values
+    head = limit // 2
+    stride = max(1, (n - head) // (limit - head))
+    if isinstance(values, np.ndarray):
+        return np.concatenate((values[:head], values[head::stride][: limit - head]))
+    return list(values[:head]) + list(values[head::stride][: limit - head])
+
+
+def collect_stats(values) -> ColumnStats:
+    kind = infer_kind(values)
+    n = len(values)
+    sample = take_sample(values)
+    stats = ColumnStats(kind=kind, n=n, n_sampled=len(sample))
+    if len(sample) == 0:
+        return stats
+    if kind == Kind.INT:
+        arr = np.asarray(sample, dtype=np.int64)
+        _numeric_stats(stats, arr)
+    elif kind == Kind.FLOAT:
+        arr = np.asarray(sample, dtype=np.float64)
+        _numeric_stats(stats, arr)
+        finite = arr[np.isfinite(arr)]
+        if len(finite):
+            rounded = np.round(finite, 6)
+            stats.decimal_fraction = float(
+                (rounded == finite).mean()
+            )
+    elif kind == Kind.BOOL:
+        arr = np.asarray(sample)
+        stats.true_fraction = float(arr.mean())
+        stats.n_unique = int(len(np.unique(arr)))
+        runs = 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+        stats.avg_run_length = len(arr) / runs
+    elif kind == Kind.BYTES:
+        lengths = [len(b) for b in sample if b is not None]
+        stats.avg_byte_length = float(np.mean(lengths)) if lengths else 0.0
+        stats.n_unique = len(set(sample))
+        counts: dict = {}
+        for item in sample:
+            counts[item] = counts.get(item, 0) + 1
+        stats.mode_fraction = max(counts.values()) / len(sample)
+    elif kind in (Kind.LIST_INT, Kind.LIST_FLOAT):
+        lengths = [len(row) for row in sample]
+        stats.avg_list_length = float(np.mean(lengths)) if lengths else 0.0
+        if kind == Kind.LIST_INT:
+            stats.window_overlap = _window_overlap(sample)
+    return stats
+
+
+def _numeric_stats(stats: ColumnStats, arr: np.ndarray) -> None:
+    finite = arr[np.isfinite(arr)] if arr.dtype.kind == "f" else arr
+    if len(finite) == 0:
+        return
+    stats.min_value = float(finite.min())
+    stats.max_value = float(finite.max())
+    stats.non_negative = stats.min_value >= 0
+    uniq, counts = np.unique(finite, return_counts=True)
+    stats.n_unique = int(len(uniq))
+    stats.mode_fraction = float(counts.max() / len(finite))
+    if len(arr) > 1:
+        diffs = np.diff(arr)
+        stats.sorted_fraction = float((diffs >= 0).mean())
+        runs = 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+        stats.avg_run_length = len(arr) / runs
+
+
+def _window_overlap(rows, probe: int = 32) -> float:
+    """Mean Jaccard-ish overlap of consecutive list rows (Fig 3 signal)."""
+    overlaps = []
+    prev = None
+    for row in rows[:probe]:
+        cur = np.asarray(row)
+        if prev is not None and len(prev) and len(cur):
+            inter = len(np.intersect1d(prev, cur))
+            overlaps.append(inter / max(len(prev), len(cur)))
+        prev = cur
+    return float(np.mean(overlaps)) if overlaps else 0.0

@@ -1,0 +1,81 @@
+"""Bullion core: the columnar file format itself.
+
+Schema/type system, page framing, the flat binary footer, writer,
+reader, Merkle checksums and deletion compliance — the paper's primary
+contribution (§2.1, §2.3) plus its substrate.
+"""
+
+from repro.core.checksum import MerkleTree, full_file_checksum
+from repro.core.compact import CompactionReport, compact, merge
+from repro.core.dataset import LoaderOptions, TrainingDataLoader
+from repro.core.deletion import (
+    DeletionReport,
+    MaskError,
+    delete_rows,
+    mask_page_payload,
+    rewrite_without_rows,
+)
+from repro.core.footer import FooterView
+from repro.core.reader import BullionFormatError, BullionReader
+from repro.core.schema import (
+    BINARY,
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INT32,
+    INT64,
+    STRING,
+    Field,
+    LogicalType,
+    PhysicalColumn,
+    PhysicalType,
+    Primitive,
+    Schema,
+)
+from repro.core.table import Table
+from repro.core.writer import (
+    LEVEL_DELETION_VECTOR,
+    LEVEL_IN_PLACE,
+    LEVEL_PLAIN,
+    BullionWriter,
+    WriterOptions,
+    write_table,
+)
+
+__all__ = [
+    "MerkleTree",
+    "full_file_checksum",
+    "CompactionReport",
+    "compact",
+    "merge",
+    "TrainingDataLoader",
+    "LoaderOptions",
+    "DeletionReport",
+    "MaskError",
+    "delete_rows",
+    "mask_page_payload",
+    "rewrite_without_rows",
+    "FooterView",
+    "BullionFormatError",
+    "BullionReader",
+    "Field",
+    "LogicalType",
+    "PhysicalColumn",
+    "PhysicalType",
+    "Primitive",
+    "Schema",
+    "Table",
+    "BullionWriter",
+    "WriterOptions",
+    "write_table",
+    "LEVEL_PLAIN",
+    "LEVEL_DELETION_VECTOR",
+    "LEVEL_IN_PLACE",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "STRING",
+    "BINARY",
+    "BOOL",
+]

@@ -1,0 +1,95 @@
+"""Compaction: reclaim space from deletion-scrubbed files.
+
+The §2.1 hybrid scheme deliberately leaves page allocations unchanged
+(masked slots, padded payloads) so deletes never rewrite the file.
+Space is reclaimed later, off the compliance-critical path, by a
+background compaction — the same division of labour as Delta Lake's
+OPTIMIZE after deletion vectors.
+
+:func:`compact` rewrites a file without its deleted rows (and without
+the per-page padding and mask slots), returning how many bytes were
+reclaimed. :func:`merge` concatenates several files into one, which is
+how small incremental ingests roll up into training-sized files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reader import BullionReader
+from repro.core.table import Table
+from repro.core.writer import BullionWriter, WriterOptions
+from repro.iosim import SimulatedStorage
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    rows_in: int
+    rows_out: int
+    bytes_in: int
+    bytes_out: int
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return self.bytes_in - self.bytes_out
+
+
+def compact(
+    source: SimulatedStorage,
+    target: SimulatedStorage,
+    options: WriterOptions | None = None,
+) -> CompactionReport:
+    """Rewrite ``source`` into ``target`` dropping deleted rows."""
+    reader = BullionReader(source)
+    names = reader.column_names()
+    table = reader.project(names, drop_deleted=True)
+    BullionWriter(target, options=options or WriterOptions()).write(table)
+    return CompactionReport(
+        rows_in=reader.num_rows,
+        rows_out=table.num_rows,
+        bytes_in=source.size,
+        bytes_out=target.size,
+    )
+
+
+def merge(
+    sources: list[SimulatedStorage],
+    target: SimulatedStorage,
+    options: WriterOptions | None = None,
+) -> CompactionReport:
+    """Concatenate files with identical physical columns into one."""
+    if not sources:
+        raise ValueError("nothing to merge")
+    tables = []
+    names: list[str] | None = None
+    rows_in = 0
+    bytes_in = 0
+    for src in sources:
+        reader = BullionReader(src)
+        if names is None:
+            names = reader.column_names()
+        elif reader.column_names() != names:
+            raise ValueError("cannot merge files with different columns")
+        tables.append(reader.project(names, drop_deleted=True))
+        rows_in += reader.num_rows
+        bytes_in += src.size
+    merged: dict[str, object] = {}
+    for name in names or []:
+        parts = [t.columns[name] for t in tables]
+        if isinstance(parts[0], np.ndarray):
+            merged[name] = np.concatenate(parts)
+        else:
+            out: list = []
+            for p in parts:
+                out.extend(p)
+            merged[name] = out
+    table = Table(merged)
+    BullionWriter(target, options=options or WriterOptions()).write(table)
+    return CompactionReport(
+        rows_in=rows_in,
+        rows_out=table.num_rows,
+        bytes_in=bytes_in,
+        bytes_out=target.size,
+    )

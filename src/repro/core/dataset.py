@@ -1,0 +1,105 @@
+"""Batch-oriented training reads over Bullion files.
+
+The access pattern §2.3 describes — "reading all training data within a
+specific time period in a batch-oriented manner, without requiring
+complex indexing or filtering" — as a data-loader:
+
+* a feature projection (the ~10% of columns a job trains on),
+* row-group-granular iteration so memory stays bounded on wide files,
+* optional row-group shuffling per epoch (the standard approximation of
+  global shuffling for columnar training data),
+* optional §2.4 widening of quantized features,
+* deleted rows filtered via the deletion vector, like every read path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reader import BullionReader
+from repro.core.table import Table
+from repro.iosim import SimulatedStorage
+
+
+@dataclass
+class LoaderOptions:
+    batch_size: int = 256
+    shuffle_row_groups: bool = False
+    widen_quantized: bool = False
+    drop_last: bool = False
+    seed: int = 0
+
+
+class TrainingDataLoader:
+    """Iterate mini-batches of a feature projection over a Bullion file."""
+
+    def __init__(
+        self,
+        storage: SimulatedStorage,
+        columns: list[str],
+        options: LoaderOptions | None = None,
+    ) -> None:
+        self._reader = BullionReader(storage)
+        missing = [
+            c for c in columns
+            if not _column_exists(self._reader, c)
+        ]
+        if missing:
+            raise KeyError(f"columns not in file: {missing}")
+        self._columns = list(columns)
+        self._options = options or LoaderOptions()
+        self._epoch = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self._reader.num_rows
+
+    def __iter__(self):
+        opts = self._options
+        groups = list(range(self._reader.footer.num_row_groups))
+        if opts.shuffle_row_groups:
+            rng = np.random.default_rng(opts.seed + self._epoch)
+            rng.shuffle(groups)
+        self._epoch += 1
+        carry: Table | None = None
+        for g in groups:
+            chunk = self._reader.project(
+                self._columns,
+                row_groups=[g],
+                widen_quantized=opts.widen_quantized,
+            )
+            if carry is not None:
+                chunk = _concat_tables([carry, chunk])
+                carry = None
+            pos = 0
+            while pos + opts.batch_size <= chunk.num_rows:
+                yield chunk.slice(pos, pos + opts.batch_size)
+                pos += opts.batch_size
+            if pos < chunk.num_rows:
+                carry = chunk.slice(pos, chunk.num_rows)
+        if carry is not None and carry.num_rows and not opts.drop_last:
+            yield carry
+
+
+def _column_exists(reader: BullionReader, name: str) -> bool:
+    try:
+        reader.footer.find_column(name)
+        return True
+    except KeyError:
+        return False
+
+
+def _concat_tables(tables: list[Table]) -> Table:
+    out: dict[str, object] = {}
+    for name in tables[0].columns:
+        parts = [t.columns[name] for t in tables]
+        if isinstance(parts[0], np.ndarray):
+            out[name] = np.concatenate(parts)
+        else:
+            merged: list = []
+            for p in parts:
+                merged.extend(p)
+            out[name] = merged
+    return Table(out)

@@ -1,0 +1,259 @@
+"""BullionReader: projection-oriented reads over a Bullion file.
+
+The access path follows §2.3 exactly: one ``pread`` for the footer tail,
+one for the footer, then a binary map scan per requested column and a
+single coalesced ``pread`` per (column, row group) chunk. Metadata cost
+is independent of how many *other* columns the file holds — the Fig 5
+property.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.footer import MAGIC, FooterView
+from repro.core.page import PAGE_HEADER_SIZE, PageHeader
+from repro.core.schema import Primitive, Schema, STORAGE_DTYPES
+from repro.core.table import Table
+from repro.encodings import decode_blob
+from repro.iosim import SimulatedStorage
+from repro.util.hashing import hash_bytes
+
+_TAIL_SIZE = 4 + len(MAGIC)
+
+
+class BullionFormatError(ValueError):
+    """Malformed file, bad magic, or checksum mismatch."""
+
+
+class BullionReader:
+    """Read-side API: open, project, verify."""
+
+    def __init__(self, storage: SimulatedStorage) -> None:
+        self._storage = storage
+        tail = storage.pread(storage.size - _TAIL_SIZE, _TAIL_SIZE)
+        (footer_len,) = struct.unpack_from("<I", tail, 0)
+        if tail[4:] != MAGIC:
+            raise BullionFormatError(f"bad trailing magic {tail[4:]!r}")
+        footer_offset = storage.size - _TAIL_SIZE - footer_len
+        footer_bytes = storage.pread(footer_offset, footer_len)
+        self.footer = FooterView(footer_bytes, file_offset=footer_offset)
+
+    # -- metadata -------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.footer.num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return self.footer.num_columns
+
+    def schema(self) -> Schema:
+        return self.footer.schema()
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.footer.physical_columns()]
+
+    # -- data -----------------------------------------------------------
+    def project(
+        self,
+        columns: list[str],
+        drop_deleted: bool = True,
+        row_groups: list[int] | None = None,
+        widen_quantized: bool = False,
+    ) -> Table:
+        """Read the named physical columns (the ML feature projection).
+
+        ``widen_quantized=True`` dequantizes §2.4 storage-quantized
+        columns (FP16/BF16/FP8) back to float32 on the way out; the
+        default returns the stored representation, which trainers with
+        native low-precision support consume directly ("usable directly
+        in training and serving").
+        """
+        footer = self.footer
+        groups = (
+            list(range(footer.num_row_groups))
+            if row_groups is None
+            else row_groups
+        )
+        deleted = None
+        if drop_deleted and footer.deleted_count():
+            deleted = footer.deletion_bitmap()
+        out: dict[str, object] = {}
+        for name in columns:
+            col_idx = footer.find_column(name)
+            ptype = footer.column_type(col_idx)
+            parts = []
+            for g in groups:
+                parts.append(self._read_chunk(col_idx, g))
+            values = _concat(parts, ptype)
+            values = _cast_to_storage(values, ptype)
+            if widen_quantized:
+                values = _widen_quantized(values, ptype)
+            out[name] = values
+        table = Table(out)
+        if deleted is not None and table.num_columns:
+            keep_parts = [
+                deleted[
+                    footer.row_group(g).row_start : footer.row_group(g).row_start
+                    + footer.row_group(g).n_rows
+                ]
+                for g in groups
+            ]
+            keep = ~np.concatenate(keep_parts)
+            table = table.take_mask(keep)
+        return table
+
+    def read_column(self, name: str, drop_deleted: bool = True):
+        return self.project([name], drop_deleted=drop_deleted).column(name)
+
+    def prune_row_groups(
+        self,
+        column: str,
+        min_value: float | None = None,
+        max_value: float | None = None,
+    ) -> list[int]:
+        """Row groups whose [min, max] stats may satisfy the predicate.
+
+        Zero data I/O: answered entirely from the footer's stats
+        section. Groups without statistics are conservatively kept.
+        With quality-presorted files (§2.5) this is what turns a
+        quality-threshold scan into a prefix read.
+        """
+        footer = self.footer
+        col_idx = footer.find_column(column)
+        kept = []
+        for g in range(footer.num_row_groups):
+            stats = footer.chunk_stats(col_idx, g)
+            if stats is None:
+                kept.append(g)
+                continue
+            if min_value is not None and stats.max_value < min_value:
+                continue
+            if max_value is not None and stats.min_value > max_value:
+                continue
+            kept.append(g)
+        return kept
+
+    def _read_chunk(self, col_idx: int, rg: int):
+        """One coalesced pread for a (column, row-group) extent."""
+        footer = self.footer
+        chunk = footer.chunk(col_idx, rg)
+        raw = self._storage.pread(chunk.offset, chunk.size)
+        values_parts = []
+        pos = 0
+        rg_meta = footer.row_group(rg)
+        page_row = rg_meta.row_start
+        for pid in range(chunk.first_page, chunk.first_page + chunk.n_pages):
+            header = PageHeader.unpack(raw, pos)
+            payload = raw[
+                pos + PAGE_HEADER_SIZE : pos + PAGE_HEADER_SIZE + header.payload_len
+            ]
+            values = decode_blob(payload)
+            meta = footer.page(pid)
+            if header.n_values != meta.n_values:
+                values = self._re_expand(values, pid, page_row, meta.n_values)
+            values_parts.append(values)
+            pos += PAGE_HEADER_SIZE + header.alloc_len
+            page_row += meta.n_values
+        return values_parts
+
+    def _re_expand(self, stored, pid: int, page_row: int, original: int):
+        """Re-align a compacted page using the deletion vector.
+
+        After a compacting deletion (e.g. RLE), the page stores only the
+        surviving values; the deletion vector "details the valid values
+        and their offsets in a page ... misaligned values are restored
+        using the deletion vector" (§2.1).
+        """
+        bitmap = self.footer.deletion_bitmap()
+        local_deleted = bitmap[page_row : page_row + original]
+        if isinstance(stored, np.ndarray):
+            full = np.zeros(original, dtype=stored.dtype)
+            full[~local_deleted] = stored
+            return full
+        full_list: list = [b"" if not stored or isinstance(stored[0], bytes) else
+                           np.zeros(0, dtype=np.int64)] * original
+        it = iter(stored)
+        for i in np.flatnonzero(~local_deleted):
+            full_list[int(i)] = next(it)
+        return full_list
+
+    # -- integrity (Fig 2) ------------------------------------------------
+    def verify(self, page_ids: list[int] | None = None) -> bool:
+        """Check page payload hashes + Merkle structure consistency."""
+        footer = self.footer
+        ids = page_ids if page_ids is not None else range(footer.num_pages)
+        for pid in ids:
+            meta = footer.page(pid)
+            raw = self._storage.pread(
+                meta.offset, PAGE_HEADER_SIZE + meta.alloc_len
+            )
+            header = PageHeader.unpack(raw)
+            payload = raw[
+                PAGE_HEADER_SIZE : PAGE_HEADER_SIZE + header.payload_len
+            ]
+            if hash_bytes(payload) != footer.page_hash(pid):
+                return False
+        from repro.core.checksum import MerkleTree
+
+        tree = MerkleTree.from_leaves(
+            [footer.page_hash(p) for p in range(footer.num_pages)],
+            footer.pages_per_group(),
+        )
+        return (
+            tree.group_hashes
+            == [footer.group_hash(g) for g in range(footer.num_row_groups)]
+            and tree.root == footer.root_hash()
+        )
+
+
+def _concat(parts: list[list], ptype) -> object:
+    flat = [v for part in parts for v in part]
+    if not flat:
+        return np.zeros(0, dtype=np.int64)
+    if isinstance(flat[0], np.ndarray) and ptype.list_depth == 0:
+        return np.concatenate(flat)
+    out: list = []
+    for v in flat:
+        out.extend(v)
+    return out
+
+
+def _widen_quantized(values, ptype):
+    """Dequantize FP16/BF16/FP8 storage to float32 (§2.4 read path)."""
+    from repro.quantization import FloatFormat, dequantize
+
+    fmt_by_primitive = {
+        Primitive.FLOAT16: FloatFormat.FP16,
+        Primitive.BFLOAT16: FloatFormat.BF16,
+        Primitive.FLOAT8_E4M3: FloatFormat.FP8_E4M3,
+        Primitive.FLOAT8_E5M2: FloatFormat.FP8_E5M2,
+    }
+    fmt = fmt_by_primitive.get(ptype.primitive)
+    if fmt is None or ptype.list_depth != 0:
+        return values
+    return dequantize(np.asarray(values), fmt)
+
+
+def _cast_to_storage(values, ptype):
+    prim = ptype.primitive
+    if ptype.list_depth > 0:
+        if prim in (Primitive.STRING, Primitive.BINARY):
+            return values
+        dtype = STORAGE_DTYPES.get(prim, np.int64)
+        if ptype.list_depth == 1 and isinstance(values, list):
+            return [np.asarray(v).astype(dtype, copy=False) for v in values]
+        return values
+    if prim in (Primitive.STRING, Primitive.BINARY):
+        return values
+    dtype = STORAGE_DTYPES[prim]
+    arr = np.asarray(values)
+    if arr.dtype != dtype:
+        if dtype in (np.uint16, np.uint8):  # bf16 / fp8 payloads
+            arr = arr.astype(np.int64).astype(dtype)
+        else:
+            arr = arr.astype(dtype)
+    return arr

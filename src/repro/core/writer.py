@@ -1,0 +1,324 @@
+"""BullionWriter: serialize a table into the Bullion file layout.
+
+File layout::
+
+    magic "BULN"
+    row group 0: column 0 pages, column 1 pages, ...   (column-contiguous
+    row group 1: ...                                    within each group)
+    footer (see repro.core.footer)
+    u32 footer_len | magic "BULN"
+
+Column-contiguous layout inside a row group means a projection reads
+each requested column's chunk with one coalesced ``pread`` (the paper's
+§2.3 access path, and the same rationale as Meta Alpha's "coalesced
+reads").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.core.checksum import MerkleTree
+from repro.core.footer import (
+    MAGIC,
+    ChunkMeta,
+    ChunkStats,
+    FooterData,
+    FooterView,
+    PageMeta,
+    RowGroupMeta,
+)
+from repro.core.page import frame_page
+from repro.core.schema import (
+    Field,
+    PhysicalColumn,
+    PhysicalType,
+    Primitive,
+    Schema,
+)
+from repro.core.table import (
+    Table,
+    physical_schema_for_table,
+    validate_against_schema,
+)
+from repro.encodings import (
+    Encoding,
+    ListEncoding,
+    SparseBool,
+    Trivial,
+    encode_blob,
+)
+from repro.encodings.bitpack import FixedBitWidth
+from repro.iosim import SimulatedStorage
+
+#: compliance levels of §2.1
+LEVEL_PLAIN = 0  # standard format, no upgraded deletion support
+LEVEL_DELETION_VECTOR = 1  # query-time filtering only
+LEVEL_IN_PLACE = 2  # deletion vectors + in-place scrubbing
+
+
+@dataclass
+class WriterOptions:
+    """Knobs for file layout and encoding selection."""
+
+    rows_per_page: int = 4096
+    rows_per_group: int = 65536
+    compliance_level: int = LEVEL_IN_PLACE
+    #: per-column encoding overrides (physical column name -> Encoding)
+    encodings: dict[str, Encoding] = dc_field(default_factory=dict)
+    #: fallback policy: "auto" (type-driven defaults), "trivial", or
+    #: "cascade" (run the §2.6 selector per column chunk)
+    encoding_policy: str = "auto"
+    #: slack appended to each page so in-place updates have headroom
+    page_padding: int = 0
+    #: record per-(column, row-group) min/max for predicate pruning
+    collect_statistics: bool = True
+    #: §2.4 storage quantization applied at write time: float columns
+    #: are narrowed per the policy and their physical type recorded in
+    #: the footer, so readers can widen transparently
+    quantization: "object | None" = None  # QuantizationPolicy
+
+    def __post_init__(self) -> None:
+        if self.rows_per_page <= 0 or self.rows_per_group <= 0:
+            raise ValueError("page/group sizes must be positive")
+        if self.rows_per_group % self.rows_per_page:
+            raise ValueError("rows_per_group must be a multiple of rows_per_page")
+        if self.compliance_level not in (0, 1, 2):
+            raise ValueError("compliance level must be 0, 1 or 2")
+
+
+_INT_PRIMS = {
+    Primitive.INT64,
+    Primitive.INT32,
+    Primitive.INT16,
+    Primitive.INT8,
+    Primitive.BFLOAT16,  # stored as uint16 payloads
+    Primitive.FLOAT8_E4M3,
+    Primitive.FLOAT8_E5M2,
+}
+
+
+def default_encoding(column: PhysicalColumn) -> Encoding:
+    """Type-driven default scheme (the "auto" policy)."""
+    ptype = column.type
+    if ptype.list_depth > 0:
+        return ListEncoding()
+    if ptype.primitive == Primitive.BOOL:
+        return SparseBool()
+    if ptype.primitive in _INT_PRIMS:
+        return FixedBitWidth()
+    return Trivial()  # floats, strings, binary
+
+
+def _to_encodable(values, column: PhysicalColumn):
+    """Coerce storage values to what the encoding layer accepts."""
+    prim = column.type.primitive
+    if column.type.list_depth > 0:
+        return values
+    if isinstance(values, np.ndarray):
+        if prim in _INT_PRIMS and values.dtype != np.int64:
+            if values.dtype == np.bool_:
+                raise ValueError(f"bool array for int column {column.name}")
+            return values.astype(np.int64)
+        return values
+    return values
+
+
+class BullionWriter:
+    """One-shot writer: ``BullionWriter(storage).write(table)``."""
+
+    def __init__(
+        self,
+        storage: SimulatedStorage,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> None:
+        self._storage = storage
+        self._schema = schema
+        self._options = options or WriterOptions()
+
+    def _resolve_encoding(self, column: PhysicalColumn, values) -> Encoding:
+        opts = self._options
+        if column.name in opts.encodings:
+            return opts.encodings[column.name]
+        if opts.encoding_policy == "trivial":
+            if column.type.list_depth > 0:
+                return ListEncoding()
+            return Trivial()
+        if opts.encoding_policy == "cascade":
+            from repro.cascading import choose_encoding
+
+            return choose_encoding(values).encoding
+        return default_encoding(column)
+
+    def write(self, table: Table) -> FooterView:
+        opts = self._options
+        if self._schema is not None:
+            columns = validate_against_schema(table, self._schema)
+            logical_fields = list(self._schema.fields)
+        else:
+            columns = physical_schema_for_table(table)
+            logical_fields = [
+                Field(c.name, _logical_for(c)) for c in columns
+            ]
+        if opts.quantization is not None:
+            table, columns = _apply_quantization(
+                table, columns, opts.quantization
+            )
+        num_rows = table.num_rows
+        storage = self._storage
+        storage.append(MAGIC)
+
+        n_groups = max(1, (num_rows + opts.rows_per_group - 1) // opts.rows_per_group)
+        pages: list[PageMeta] = []
+        page_payloads: list[bytes] = []
+        chunks: dict[tuple[int, int], ChunkMeta] = {}
+        chunk_stats: dict[tuple[int, int], ChunkStats] = {}
+        row_groups: list[RowGroupMeta] = []
+        pages_per_group: list[int] = []
+
+        for g in range(n_groups):
+            row_start = g * opts.rows_per_group
+            row_end = min(row_start + opts.rows_per_group, num_rows)
+            rg_first_page = len(pages)
+            for c, column in enumerate(columns):
+                col_values = table.columns[column.name]
+                chunk_offset = storage.size
+                first_page = len(pages)
+                pos = row_start
+                while pos < row_end or (pos == row_start == row_end):
+                    page_end = min(pos + opts.rows_per_page, row_end)
+                    page_values = _to_encodable(
+                        col_values[pos:page_end], column
+                    )
+                    encoding = self._resolve_encoding(column, page_values)
+                    payload = encode_blob(page_values, encoding)
+                    framed = frame_page(
+                        payload, page_end - pos, opts.page_padding
+                    )
+                    offset = storage.append(framed)
+                    pages.append(
+                        PageMeta(
+                            offset=offset,
+                            alloc_len=len(payload) + opts.page_padding,
+                            n_values=page_end - pos,
+                        )
+                    )
+                    page_payloads.append(payload)
+                    pos = page_end
+                    if page_end == row_end:
+                        break
+                chunks[(c, g)] = ChunkMeta(
+                    offset=chunk_offset,
+                    size=storage.size - chunk_offset,
+                    first_page=first_page,
+                    n_pages=len(pages) - first_page,
+                )
+                if opts.collect_statistics:
+                    stats = _numeric_chunk_stats(
+                        col_values[row_start:row_end]
+                    )
+                    if stats is not None:
+                        chunk_stats[(c, g)] = stats
+            row_groups.append(
+                RowGroupMeta(
+                    row_start=row_start,
+                    n_rows=row_end - row_start,
+                    first_page=rg_first_page,
+                )
+            )
+            pages_per_group.append(len(pages) - rg_first_page)
+
+        tree = MerkleTree.build(page_payloads, pages_per_group)
+        footer_data = FooterData(
+            num_rows=num_rows,
+            compliance_level=opts.compliance_level,
+            columns=columns,
+            logical_fields=logical_fields,
+            chunks=chunks,
+            pages=pages,
+            row_groups=row_groups,
+            page_hashes=tree.page_hashes,
+            group_hashes=tree.group_hashes,
+            root_hash=tree.root,
+            chunk_stats=chunk_stats,
+        )
+        footer_bytes = footer_data.serialize()
+        footer_offset = storage.append(footer_bytes)
+        storage.append(struct.pack("<I", len(footer_bytes)) + MAGIC)
+        return FooterView(footer_bytes, file_offset=footer_offset)
+
+
+def _apply_quantization(table: Table, columns: list[PhysicalColumn], policy):
+    """Narrow float columns per the §2.4 policy before encoding."""
+    from repro.quantization import FloatFormat, quantize
+
+    fmt_to_primitive = {
+        FloatFormat.FP64: Primitive.FLOAT64,
+        FloatFormat.FP32: Primitive.FLOAT32,
+        FloatFormat.TF32: Primitive.FLOAT32,  # stored in 32 bits
+        FloatFormat.FP16: Primitive.FLOAT16,
+        FloatFormat.BF16: Primitive.BFLOAT16,
+        FloatFormat.FP8_E4M3: Primitive.FLOAT8_E4M3,
+        FloatFormat.FP8_E5M2: Primitive.FLOAT8_E5M2,
+    }
+    new_values: dict[str, object] = {}
+    new_columns: list[PhysicalColumn] = []
+    for col in columns:
+        values = table.columns[col.name]
+        is_plain_float = col.type.list_depth == 0 and col.type.primitive in (
+            Primitive.FLOAT32,
+            Primitive.FLOAT64,
+        )
+        if is_plain_float:
+            fmt = policy.format_for(col.name)
+            prim = fmt_to_primitive[fmt]
+            if prim != col.type.primitive or fmt == FloatFormat.TF32:
+                values = quantize(np.asarray(values), fmt)
+                col = PhysicalColumn(
+                    col.name, PhysicalType(prim, 0), col.source_field
+                )
+        new_values[col.name] = values
+        new_columns.append(col)
+    return Table(new_values), new_columns
+
+
+def _numeric_chunk_stats(values) -> ChunkStats | None:
+    """min/max of a numeric depth-0 slice (None for other kinds)."""
+    if not isinstance(values, np.ndarray) or len(values) == 0:
+        return None
+    if values.dtype == np.bool_ or not (
+        np.issubdtype(values.dtype, np.integer)
+        or np.issubdtype(values.dtype, np.floating)
+    ):
+        return None
+    if np.issubdtype(values.dtype, np.floating):
+        finite = values[np.isfinite(values)]
+        if len(finite) == 0:
+            return None
+        return ChunkStats(float(finite.min()), float(finite.max()))
+    return ChunkStats(float(values.min()), float(values.max()))
+
+
+def _logical_for(column: PhysicalColumn):
+    from repro.core.schema import LogicalType
+
+    t = LogicalType.of(column.type.primitive)
+    for _ in range(column.type.list_depth):
+        t = LogicalType.list_(t)
+    return t
+
+
+def write_table(
+    storage: SimulatedStorage,
+    table: Table,
+    schema: Schema | None = None,
+    **option_kwargs,
+) -> FooterView:
+    """Convenience wrapper: write with keyword options."""
+    return BullionWriter(
+        storage, schema, WriterOptions(**option_kwargs)
+    ).write(table)

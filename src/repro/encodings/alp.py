@@ -1,0 +1,201 @@
+"""Pseudodecimal and ALP floating-point encodings.
+
+Table 2:
+* Pseudodecimal [58] — "specialized encoding for floating-point values
+  using decimal representation": each value is stored as a significand
+  integer and a decimal exponent, in two integer sub-columns, with
+  non-decimal values patched as exceptions.
+* ALP [20] — "an adaptive scheme that uses a strongly enhanced version
+  of PseudoDecimals to losslessly encode doubles as integers if they
+  originated as decimals, and otherwise uses vectorized compression of
+  the doubles' front bits".
+
+Our ALP follows the real algorithm's structure: sample the column,
+pick the best (exponent e, factor f) pair, encode each value as
+``round(v * 10^e / 10^f)`` checked for exact round-trip, patch the
+misfits as positional exceptions, and hand the integer stream to a
+FOR/bit-packing child. If the sampled exception rate is too high it
+falls back to the "ALP-RD" style path: bit-shuffled front bits through
+zlib (we reuse :class:`BitShuffle`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    Kind,
+    as_float,
+    decode_child,
+    encode_child,
+    float_dtype_code,
+    float_dtype_from_code,
+    register,
+)
+from repro.encodings.bitshuffle import BitShuffle
+from repro.encodings.delta import FrameOfReference
+from repro.encodings.trivial import Trivial
+from repro.encodings.varint_enc import Varint
+from repro.util.bitio import ByteReader, ByteWriter
+
+MAX_EXPONENT = 18
+_POW10 = np.array([10.0 ** k for k in range(MAX_EXPONENT + 1)])
+_SAMPLE = 256
+
+
+@register
+class Pseudodecimal(Encoding):
+    """Per-value (significand, exponent) decimal decomposition."""
+
+    id = 19
+    name = "pseudodecimal"
+    kinds = frozenset({Kind.FLOAT})
+
+    def __init__(
+        self,
+        digits_child: Encoding | None = None,
+        exponents_child: Encoding | None = None,
+    ) -> None:
+        from repro.encodings.varint_enc import ZigZag
+
+        self._digits_child = digits_child if digits_child is not None else ZigZag()
+        self._exponents_child = (
+            exponents_child if exponents_child is not None else Varint()
+        )
+
+    def encode(self, values) -> bytes:
+        values = as_float(values)
+        writer = ByteWriter()
+        writer.write_u8(float_dtype_code(values.dtype))
+        writer.write_u64(len(values))
+        work = values.astype(np.float64)
+        digits = np.zeros(len(work), dtype=np.int64)
+        exponents = np.zeros(len(work), dtype=np.int64)
+        unresolved = np.isfinite(work)  # non-finite are exceptions outright
+        resolved = np.zeros(len(work), dtype=np.bool_)
+        for e in range(MAX_EXPONENT + 1):  # smallest exponent wins per value
+            if not unresolved.any():
+                break
+            with np.errstate(invalid="ignore", over="ignore"):
+                d = np.round(work * _POW10[e])
+                ok = unresolved & (np.abs(d) < 2**53) & (d / _POW10[e] == work)
+            digits[ok] = d[ok].astype(np.int64)
+            exponents[ok] = e
+            resolved |= ok
+            unresolved &= ~ok
+        exc_mask = ~resolved
+        encode_child(writer, digits, self._digits_child)
+        encode_child(writer, exponents, self._exponents_child)
+        encode_child(
+            writer, np.flatnonzero(exc_mask).astype(np.int64), Trivial()
+        )
+        encode_child(writer, work[exc_mask].astype(np.float64), Trivial())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        dtype = float_dtype_from_code(reader.read_u8())
+        count = reader.read_u64()
+        digits = decode_child(reader)
+        exponents = decode_child(reader)
+        exc_idx = decode_child(reader)
+        exc_val = decode_child(reader)
+        out = digits.astype(np.float64) / _POW10[exponents.astype(np.int64)]
+        if len(exc_idx):
+            out[exc_idx] = exc_val
+        if count == 0:
+            out = np.zeros(0, dtype=np.float64)
+        return out.astype(dtype)
+
+
+_MODE_DECIMAL = 0
+_MODE_FRONTBITS = 1
+
+
+@register
+class ALP(Encoding):
+    """Adaptive Lossless floating-Point: sampled (e, f) decimal packing.
+
+    Falls back to the front-bits (bitshuffle+zlib) path when sampling
+    sees too many exceptions, mirroring ALP-RD.
+    """
+
+    id = 20
+    name = "alp"
+    kinds = frozenset({Kind.FLOAT})
+
+    #: give up on the decimal path beyond this sampled exception rate
+    MAX_EXCEPTION_RATE = 0.2
+
+    def __init__(self, integers_child: Encoding | None = None) -> None:
+        self._integers_child = (
+            integers_child if integers_child is not None else FrameOfReference()
+        )
+
+    @staticmethod
+    def _try_pair(sample: np.ndarray, e: int, f: int) -> float:
+        scale = _POW10[e] / _POW10[f]
+        with np.errstate(invalid="ignore", over="ignore"):
+            d = np.round(sample * scale)
+            ok = np.isfinite(sample) & (np.abs(d) < 2**53) & (d / scale == sample)
+        return float(ok.mean()) if len(sample) else 1.0
+
+    def _choose_pair(self, values: np.ndarray) -> tuple[int, int, float]:
+        sample = values[:: max(1, len(values) // _SAMPLE)][:_SAMPLE]
+        best = (0, 0, -1.0)
+        for e in range(MAX_EXPONENT + 1):
+            for f in range(0, min(e, 2) + 1):
+                rate = self._try_pair(sample, e, f)
+                if rate > best[2]:  # prefer higher hit rate, smaller exponent
+                    best = (e, f, rate)
+                if best[2] == 1.0:
+                    return best
+        return best
+
+    def encode(self, values) -> bytes:
+        values = as_float(values)
+        writer = ByteWriter()
+        writer.write_u8(float_dtype_code(values.dtype))
+        writer.write_u64(len(values))
+        work = values.astype(np.float64)
+        e, f, rate = self._choose_pair(work) if len(work) else (0, 0, 1.0)
+        if rate < 1.0 - self.MAX_EXCEPTION_RATE:
+            writer.write_u8(_MODE_FRONTBITS)
+            encode_child(writer, work, BitShuffle())
+            return writer.getvalue()
+        writer.write_u8(_MODE_DECIMAL)
+        writer.write_u8(e)
+        writer.write_u8(f)
+        scale = _POW10[e] / _POW10[f]
+        with np.errstate(invalid="ignore", over="ignore"):
+            d = np.round(work * scale)
+            ok = np.isfinite(work) & (np.abs(d) < 2**53) & (d / scale == work)
+        integers = np.where(ok, d, 0.0).astype(np.int64)
+        exc_idx = np.flatnonzero(~ok).astype(np.int64)
+        exc_val = work[~ok]
+        encode_child(writer, integers, self._integers_child)
+        encode_child(writer, exc_idx, Trivial())
+        encode_child(writer, exc_val.astype(np.float64), Trivial())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        dtype = float_dtype_from_code(reader.read_u8())
+        count = reader.read_u64()
+        mode = reader.read_u8()
+        if mode == _MODE_FRONTBITS:
+            out = decode_child(reader)
+            return np.asarray(out, dtype=np.float64)[:count].astype(dtype)
+        e = reader.read_u8()
+        f = reader.read_u8()
+        integers = decode_child(reader)
+        exc_idx = decode_child(reader)
+        exc_val = decode_child(reader)
+        scale = _POW10[e] / _POW10[f]
+        out = integers.astype(np.float64) / scale
+        if len(exc_idx):
+            out[exc_idx] = exc_val
+        if count == 0:
+            out = np.zeros(0, dtype=np.float64)
+        return out.astype(dtype)

@@ -1,0 +1,236 @@
+"""The modular, composable encoding interface (paper §2.6).
+
+The paper's complaint about Parquet/ORC is that they "tightly couple
+various encoding methods ... without providing unified interfaces,
+making it impossible to utilize these encoding schemes independently".
+Bullion's answer — and this module — is a catalog of encodings behind
+one interface:
+
+* every encoded blob is **self-describing**: one id byte followed by an
+  encoding-specific payload, so any decoder can decode any blob;
+* encodings that produce sub-columns (RLE's values/counts, Dictionary's
+  dictionary/codes, Nullable's bitmap/values, ...) store each sub-column
+  as a **nested blob**, so cascading composition falls out naturally:
+  ``RLE(values=Dictionary(codes=FixedBitWidth()), counts=Varint())`` is
+  just a tree of constructor arguments;
+* :func:`encode_blob` / :func:`decode_blob` are the only entry points
+  the file format needs.
+
+Value kinds
+-----------
+Encodings operate on one of six value kinds:
+
+========== ==========================================================
+INT        ``np.ndarray`` of int64
+FLOAT      ``np.ndarray`` of float64/float32/float16 (dtype preserved)
+BYTES      ``list[bytes]``
+BOOL       ``np.ndarray`` of bool
+LIST_INT   ``list[np.ndarray(int64)]`` (e.g. ``list<int64>`` features)
+LIST_FLOAT ``list[np.ndarray(float32/float64)]``
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.bitio import ByteReader, ByteWriter
+
+
+class Kind(enum.Enum):
+    """Logical value kind an encoding accepts."""
+
+    INT = "int"
+    FLOAT = "float"
+    BYTES = "bytes"
+    BOOL = "bool"
+    LIST_INT = "list_int"
+    LIST_FLOAT = "list_float"
+    LIST_BYTES = "list_bytes"
+    LIST_LIST_INT = "list_list_int"
+
+
+class EncodingError(ValueError):
+    """Raised when values cannot be encoded/decoded by a scheme."""
+
+
+_FLOAT_DTYPE_CODES = {
+    np.dtype(np.float64): 0,
+    np.dtype(np.float32): 1,
+    np.dtype(np.float16): 2,
+}
+_FLOAT_DTYPE_BY_CODE = {v: k for k, v in _FLOAT_DTYPE_CODES.items()}
+
+
+def float_dtype_code(dtype) -> int:
+    """Stable on-disk code for a float dtype (payloads must round-trip it)."""
+    try:
+        return _FLOAT_DTYPE_CODES[np.dtype(dtype)]
+    except KeyError:
+        raise EncodingError(f"unsupported float dtype {dtype}") from None
+
+
+def float_dtype_from_code(code: int):
+    try:
+        return _FLOAT_DTYPE_BY_CODE[code]
+    except KeyError:
+        raise EncodingError(f"unknown float dtype code {code}") from None
+
+
+def infer_kind(values) -> Kind:
+    """Classify a Python value container into a :class:`Kind`."""
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.bool_:
+            return Kind.BOOL
+        if np.issubdtype(values.dtype, np.integer):
+            return Kind.INT
+        if np.issubdtype(values.dtype, np.floating):
+            return Kind.FLOAT
+        raise EncodingError(f"unsupported array dtype {values.dtype}")
+    if isinstance(values, (list, tuple)):
+        if len(values) == 0:
+            return Kind.BYTES  # degenerate; all list kinds handle empty
+        first = values[0]
+        if isinstance(first, (bytes, bytearray)) or first is None:
+            return Kind.BYTES
+        if isinstance(first, np.ndarray):
+            if np.issubdtype(first.dtype, np.integer):
+                return Kind.LIST_INT
+            if np.issubdtype(first.dtype, np.floating):
+                return Kind.LIST_FLOAT
+        if isinstance(first, (list, tuple)):
+            # peek into the first non-empty inner sequence
+            probe = next((row for row in values if len(row)), None)
+            inner = probe[0] if probe is not None else 0
+            if isinstance(inner, (bytes, bytearray)):
+                return Kind.LIST_BYTES
+            if isinstance(inner, float):
+                return Kind.LIST_FLOAT
+            if isinstance(inner, (list, tuple, np.ndarray)):
+                return Kind.LIST_LIST_INT
+            return Kind.LIST_INT
+        raise EncodingError(f"unsupported list element {type(first)!r}")
+    raise EncodingError(f"unsupported container {type(values)!r}")
+
+
+class Encoding(ABC):
+    """One scheme from the Table 2 catalog.
+
+    Subclasses define a class-level ``id`` (stable on-disk byte), a
+    ``name`` and the set of ``kinds`` they accept. ``encode`` emits the
+    payload *without* the id byte; ``decode`` parses it back. Blob-level
+    framing lives in :func:`encode_blob`/:func:`decode_blob`.
+    """
+
+    id: int = -1
+    name: str = "?"
+    kinds: frozenset = frozenset()
+
+    @abstractmethod
+    def encode(self, values) -> bytes:
+        """Encode values of a supported kind to the payload bytes."""
+
+    @classmethod
+    @abstractmethod
+    def decode(cls, reader: ByteReader):
+        """Decode a payload (positioned after the id byte) to values."""
+
+    def can_encode(self, values) -> bool:
+        """Cheap check: is this scheme applicable to these values?"""
+        try:
+            return infer_kind(values) in self.kinds
+        except EncodingError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+_REGISTRY: dict[int, type[Encoding]] = {}
+_BY_NAME: dict[str, type[Encoding]] = {}
+
+
+def register(cls: type[Encoding]) -> type[Encoding]:
+    """Class decorator adding a scheme to the global catalog."""
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise RuntimeError(
+            f"encoding id {cls.id} already registered to "
+            f"{_REGISTRY[cls.id].__name__}"
+        )
+    _REGISTRY[cls.id] = cls
+    _BY_NAME[cls.name] = cls
+    return cls
+
+
+def encoding_by_id(enc_id: int) -> type[Encoding]:
+    try:
+        return _REGISTRY[enc_id]
+    except KeyError:
+        raise EncodingError(f"unknown encoding id {enc_id}") from None
+
+
+def encoding_by_name(name: str) -> type[Encoding]:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise EncodingError(f"unknown encoding {name!r}") from None
+
+
+def catalog() -> dict[str, type[Encoding]]:
+    """Name -> class mapping of every registered scheme (Table 2)."""
+    return dict(_BY_NAME)
+
+
+def encode_blob(values, encoding: Encoding) -> bytes:
+    """Encode values into a self-describing blob (id byte + payload)."""
+    payload = encoding.encode(values)
+    return bytes([encoding.id]) + payload
+
+
+def decode_blob(data: bytes):
+    """Decode a self-describing blob produced by :func:`encode_blob`."""
+    if len(data) == 0:
+        raise EncodingError("empty blob")
+    cls = encoding_by_id(data[0])
+    return cls.decode(ByteReader(data, offset=1))
+
+
+def encode_child(writer: ByteWriter, values, encoding: Encoding) -> None:
+    """Write a length-prefixed nested blob (sub-column of a parent)."""
+    writer.write_blob(encode_blob(values, encoding))
+
+
+def decode_child(reader: ByteReader):
+    """Read back a nested blob written by :func:`encode_child`."""
+    return decode_blob(reader.read_blob())
+
+
+def as_int64(values) -> np.ndarray:
+    """Validate/coerce INT-kind input to an int64 array."""
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise EncodingError(f"expected integers, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+def as_float(values) -> np.ndarray:
+    """Validate FLOAT-kind input, preserving its dtype."""
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.floating):
+        raise EncodingError(f"expected floats, got dtype {arr.dtype}")
+    if np.dtype(arr.dtype) not in _FLOAT_DTYPE_CODES:
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def as_bytes_list(values) -> list[bytes]:
+    """Validate BYTES-kind input (list of bytes objects)."""
+    out = []
+    for item in values:
+        if not isinstance(item, (bytes, bytearray)):
+            raise EncodingError(f"expected bytes, got {type(item)!r}")
+        out.append(bytes(item))
+    return out

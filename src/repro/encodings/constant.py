@@ -1,0 +1,168 @@
+"""Constant and MainlyConstant (frequency) encodings.
+
+Table 2:
+* Constant — "optimizes storage for columns containing a single
+  repeated value by storing only the constant value";
+* MainlyConstant — "optimizes columns dominated by a single value,
+  storing the constant value, positions of exceptions, and their
+  corresponding values. Also known as Frequency Encoding."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    as_bytes_list,
+    decode_child,
+    encode_child,
+    infer_kind,
+    register,
+)
+from repro.encodings.trivial import Trivial
+from repro.encodings.varint_enc import Varint
+from repro.util.bitio import ByteReader, ByteWriter
+
+
+def _most_common(values) -> object:
+    """Most frequent element (mode) of the column."""
+    if isinstance(values, np.ndarray):
+        uniq, counts = np.unique(values, return_counts=True)
+        return uniq[int(np.argmax(counts))]
+    counter: dict = {}
+    for v in values:
+        counter[v] = counter.get(v, 0) + 1
+    return max(counter.items(), key=lambda kv: kv[1])[0]
+
+
+@register
+class Constant(Encoding):
+    """Store a single value + count; refuses non-constant input."""
+
+    id = 12
+    name = "constant"
+    kinds = frozenset({Kind.INT, Kind.FLOAT, Kind.BYTES, Kind.BOOL})
+
+    def encode(self, values) -> bytes:
+        kind = infer_kind(values)
+        n = len(values)
+        writer = ByteWriter()
+        writer.write_u64(n)
+        if n == 0:
+            # degenerate: remember the kind so decode returns the right type
+            writer.write_u8(_KIND_CODE[kind])
+            encode_child(writer, _empty(kind), Trivial())
+            return writer.getvalue()
+        first = values[0]
+        if isinstance(values, np.ndarray):
+            if not bool((values == first).all()):
+                raise EncodingError("constant encoding on non-constant data")
+            single = values[:1]
+        else:
+            items = as_bytes_list(values)
+            if any(v != items[0] for v in items):
+                raise EncodingError("constant encoding on non-constant data")
+            single = items[:1]
+        writer.write_u8(_KIND_CODE[kind])
+        encode_child(writer, single, Trivial())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader):
+        n = reader.read_u64()
+        kind_code = reader.read_u8()
+        single = decode_child(reader)
+        if n == 0:
+            return single
+        if isinstance(single, np.ndarray):
+            return np.repeat(single, n)
+        return [single[0]] * n
+
+
+@register
+class MainlyConstant(Encoding):
+    """Mode value + exception positions + exception values."""
+
+    id = 13
+    name = "mainly_constant"
+    kinds = frozenset({Kind.INT, Kind.FLOAT, Kind.BYTES})
+
+    def __init__(
+        self,
+        exceptions_child: Encoding | None = None,
+        positions_child: Encoding | None = None,
+    ) -> None:
+        self._exceptions_child = (
+            exceptions_child if exceptions_child is not None else Trivial()
+        )
+        self._positions_child = (
+            positions_child if positions_child is not None else Varint()
+        )
+
+    def encode(self, values) -> bytes:
+        kind = infer_kind(values)
+        writer = ByteWriter()
+        writer.write_u64(len(values))
+        writer.write_u8(_KIND_CODE[kind])
+        if len(values) == 0:
+            encode_child(writer, _empty(kind), Trivial())
+            encode_child(writer, np.zeros(0, dtype=np.int64), self._positions_child)
+            encode_child(writer, _empty(kind), self._exceptions_child)
+            return writer.getvalue()
+        mode = _most_common(values)
+        if isinstance(values, np.ndarray):
+            exc_mask = values != mode
+            positions = np.flatnonzero(exc_mask).astype(np.int64)
+            exceptions = values[exc_mask]
+            constant = values[values == mode][:1]
+        else:
+            items = as_bytes_list(values)
+            positions = np.array(
+                [i for i, v in enumerate(items) if v != mode], dtype=np.int64
+            )
+            exceptions = [v for v in items if v != mode]
+            constant = [mode]
+        encode_child(writer, constant, Trivial())
+        deltas = np.diff(positions, prepend=np.int64(0)) if len(positions) else positions
+        encode_child(writer, deltas, self._positions_child)
+        encode_child(writer, exceptions, self._exceptions_child)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader):
+        n = reader.read_u64()
+        kind_code = reader.read_u8()
+        constant = decode_child(reader)
+        deltas = decode_child(reader)
+        exceptions = decode_child(reader)
+        positions = (
+            np.cumsum(deltas.astype(np.int64)) if len(deltas) else
+            np.zeros(0, dtype=np.int64)
+        )
+        if isinstance(constant, np.ndarray):
+            if n == 0:
+                return constant
+            out = np.repeat(constant, n)
+            if len(positions):
+                out[positions] = exceptions
+            return out
+        out_list = ([constant[0]] * n) if n else []
+        for pos, val in zip(positions, exceptions):
+            out_list[int(pos)] = val
+        return out_list
+
+
+_KIND_CODE = {Kind.INT: 0, Kind.FLOAT: 1, Kind.BYTES: 2, Kind.BOOL: 3}
+
+
+def _empty(kind: Kind):
+    if kind == Kind.INT:
+        return np.zeros(0, dtype=np.int64)
+    if kind == Kind.FLOAT:
+        return np.zeros(0, dtype=np.float64)
+    if kind == Kind.BOOL:
+        return np.zeros(0, dtype=np.bool_)
+    return []

@@ -1,0 +1,131 @@
+"""Delta and frame-of-reference (FOR) encodings.
+
+Delta "stores differences between consecutive values ... effective for
+monotonic or slowly-changing sequences" (Table 2); deltas go through a
+child encoding (zigzag+varint by default).
+
+FOR-delta "declares a base value for each block ... encoding data as
+deltas relative to these values. It supports random access to any
+element, and is often coupled with bit-packing" (§2.1). We keep the
+classic block structure: per-block base + per-block bit width + packed
+offsets, which is also what gives the deletion masker a fixed-width
+slot to scrub.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    Kind,
+    as_int64,
+    decode_child,
+    encode_child,
+    register,
+)
+from repro.encodings.varint_enc import ZigZag
+from repro.util.bitio import (
+    ByteReader,
+    ByteWriter,
+    min_bit_width,
+    pack_bits,
+    unpack_bits,
+)
+
+
+@register
+class Delta(Encoding):
+    """First-order differences with a composable deltas sub-column."""
+
+    id = 6
+    name = "delta"
+    kinds = frozenset({Kind.INT})
+
+    def __init__(self, deltas_child: Encoding | None = None) -> None:
+        self._deltas_child = deltas_child if deltas_child is not None else ZigZag()
+
+    def encode(self, values) -> bytes:
+        values = as_int64(values)
+        writer = ByteWriter()
+        writer.write_u64(len(values))
+        if len(values) == 0:
+            return writer.getvalue()
+        writer.write_i64(int(values[0]))
+        deltas = np.diff(values)
+        encode_child(writer, deltas, self._deltas_child)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        first = reader.read_i64()
+        deltas = decode_child(reader)
+        out = np.empty(count, dtype=np.int64)
+        out[0] = first
+        if count > 1:
+            np.cumsum(deltas, out=out[1:])
+            out[1:] += first
+        return out
+
+
+DEFAULT_FOR_BLOCK = 128
+
+
+@register
+class FrameOfReference(Encoding):
+    """Per-block base + bit-packed offsets (FOR-delta of §2.1)."""
+
+    id = 7
+    name = "for"
+    kinds = frozenset({Kind.INT})
+
+    def __init__(self, block_size: int = DEFAULT_FOR_BLOCK) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self._block_size = block_size
+
+    def encode(self, values) -> bytes:
+        values = as_int64(values)
+        writer = ByteWriter()
+        writer.write_u32(self._block_size)
+        writer.write_u64(len(values))
+        n_blocks = (len(values) + self._block_size - 1) // self._block_size
+        bases = np.empty(n_blocks, dtype=np.int64)
+        widths = np.empty(n_blocks, dtype=np.uint8)
+        packed_parts = []
+        for b in range(n_blocks):
+            block = values[b * self._block_size : (b + 1) * self._block_size]
+            base = int(block.min())
+            offsets = (block - base).astype(np.uint64)
+            width = min_bit_width(offsets)
+            bases[b] = base
+            widths[b] = width
+            packed_parts.append(pack_bits(offsets, width))
+        writer.write_array(bases)
+        writer.write_array(widths)
+        for part in packed_parts:
+            writer.write(part)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        block_size = reader.read_u32()
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_blocks = (count + block_size - 1) // block_size
+        bases = reader.read_array(np.int64, n_blocks)
+        widths = reader.read_array(np.uint8, n_blocks)
+        out = np.empty(count, dtype=np.int64)
+        for b in range(n_blocks):
+            n = min(block_size, count - b * block_size)
+            width = int(widths[b])
+            n_bytes = (width * n + 7) // 8
+            offsets = unpack_bits(reader.read(n_bytes), width, n)
+            out[b * block_size : b * block_size + n] = (
+                offsets.astype(np.int64) + bases[b]
+            )
+        return out

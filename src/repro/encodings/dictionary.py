@@ -1,0 +1,106 @@
+"""Dictionary encoding with a reserved deletion-mask entry.
+
+"Compresses data by maintaining a dictionary of unique values and
+storing data as indices referencing this dictionary" (Table 2). Two
+Bullion-specific twists from §2.1:
+
+* **code 0 is reserved as the mask entry.** Deleting a value rewrites
+  its code to 0 in place — the dictionary itself is never touched, and
+  because codes are fixed-width bit-packed the page size is unchanged.
+* the codes sub-column is a nested blob, so it can itself be RLE'd or
+  bit-packed by a cascade ("It also allows the integer codes in the
+  data pages to be further compressed using encoding techniques such
+  as RLE").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    as_bytes_list,
+    as_int64,
+    decode_child,
+    encode_child,
+    infer_kind,
+    register,
+)
+from repro.encodings.bitpack import FixedBitWidth
+from repro.encodings.trivial import Trivial
+from repro.util.bitio import ByteReader, ByteWriter
+
+#: the reserved dictionary slot used to mask deleted values
+MASK_CODE = 0
+
+_TAG_INT = 0
+_TAG_BYTES = 1
+
+
+@register
+class Dictionary(Encoding):
+    """Dictionary-encode int64 or bytes values; codes start at 1."""
+
+    id = 5
+    name = "dictionary"
+    kinds = frozenset({Kind.INT, Kind.BYTES})
+
+    def __init__(self, codes_child: Encoding | None = None) -> None:
+        # fixed base 0 keeps the reserved MASK_CODE representable so the
+        # deletion path can rewrite codes in place (§2.1)
+        self._codes_child = (
+            codes_child
+            if codes_child is not None
+            else FixedBitWidth(fixed_base=0)
+        )
+
+    def encode(self, values) -> bytes:
+        kind = infer_kind(values)
+        writer = ByteWriter()
+        if kind == Kind.INT:
+            arr = as_int64(values)
+            unique, inverse = np.unique(arr, return_inverse=True)
+            writer.write_u8(_TAG_INT)
+            encode_child(writer, unique.astype(np.int64), Trivial())
+        elif kind == Kind.BYTES:
+            items = as_bytes_list(values)
+            unique_list = sorted(set(items))
+            index = {v: i for i, v in enumerate(unique_list)}
+            inverse = np.fromiter(
+                (index[v] for v in items), dtype=np.int64, count=len(items)
+            )
+            writer.write_u8(_TAG_BYTES)
+            encode_child(writer, unique_list, Trivial())
+        else:  # pragma: no cover - guarded by kinds
+            raise EncodingError(f"dictionary cannot encode {kind}")
+        codes = inverse.astype(np.int64) + 1  # shift: 0 is the mask entry
+        encode_child(writer, codes, self._codes_child)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader):
+        tag = reader.read_u8()
+        dictionary = decode_child(reader)
+        codes = decode_child(reader).astype(np.int64)
+        masked = codes == MASK_CODE
+        indices = np.where(masked, 1, codes) - 1  # masked -> entry 0 then fix
+        if tag == _TAG_INT:
+            if len(dictionary) == 0:
+                return np.zeros(0, dtype=np.int64)
+            out = dictionary[indices]
+            out[masked] = 0  # mask value for ints is 0
+            return out.astype(np.int64)
+        out_list = [dictionary[i] for i in indices]
+        for i in np.flatnonzero(masked):
+            out_list[int(i)] = b""  # mask value for bytes is empty
+        return out_list
+
+    @staticmethod
+    def decode_codes(reader: ByteReader) -> tuple[int, object, np.ndarray]:
+        """Decode to (tag, dictionary, raw codes) — used by deletion."""
+        tag = reader.read_u8()
+        dictionary = decode_child(reader)
+        codes = decode_child(reader).astype(np.int64)
+        return tag, dictionary, codes

@@ -1,0 +1,168 @@
+"""FastPFOR and FastBP128-style batch bit-packing kernels.
+
+Table 2 lists SIMDFastPFOR and SIMDFastBP128 [11]. The defining ideas:
+
+* **FastBP128** — binary packing in fixed 128-value miniblocks, each
+  with its own bit width, processed batch-at-a-time;
+* **FastPFOR** — patched frame-of-reference: pick a bit width that fits
+  ~90% of a block's values, store the outliers ("patches") in a
+  separate exception area so one large value does not inflate the whole
+  block.
+
+Substitution note (DESIGN.md): the SIMD intrinsics become numpy batch
+kernels — same algorithmic structure (miniblock widths, exception
+patching), batch-parallel inner loops in C via numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    register,
+)
+from repro.util.bitio import (
+    ByteReader,
+    ByteWriter,
+    min_bit_width,
+    pack_bits,
+    unpack_bits,
+)
+
+MINIBLOCK = 128
+#: FastPFOR stores exceptions beyond this per-block quantile
+PATCH_QUANTILE = 0.90
+
+
+def _require_unsigned(values) -> np.ndarray:
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise EncodingError(f"expected integers, got {arr.dtype}")
+    if np.issubdtype(arr.dtype, np.signedinteger):
+        if len(arr) and int(arr.min()) < 0:
+            raise EncodingError(
+                "fastpfor/bp128 require non-negative input; "
+                "compose with zigzag or FOR for signed data"
+            )
+    return arr.astype(np.uint64)
+
+
+@register
+class FastBP128(Encoding):
+    """Binary packing in 128-value miniblocks with per-block widths."""
+
+    id = 23
+    name = "fastbp128"
+    kinds = frozenset({Kind.INT})
+
+    def encode(self, values) -> bytes:
+        arr = _require_unsigned(values)
+        writer = ByteWriter()
+        writer.write_u64(len(arr))
+        n_blocks = (len(arr) + MINIBLOCK - 1) // MINIBLOCK
+        widths = np.empty(n_blocks, dtype=np.uint8)
+        parts = []
+        for b in range(n_blocks):
+            block = arr[b * MINIBLOCK : (b + 1) * MINIBLOCK]
+            width = min_bit_width(block)
+            widths[b] = width
+            parts.append(pack_bits(block, width))
+        writer.write_array(widths)
+        for part in parts:
+            writer.write(part)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_blocks = (count + MINIBLOCK - 1) // MINIBLOCK
+        widths = reader.read_array(np.uint8, n_blocks)
+        out = np.empty(count, dtype=np.uint64)
+        for b in range(n_blocks):
+            n = min(MINIBLOCK, count - b * MINIBLOCK)
+            width = int(widths[b])
+            n_bytes = (width * n + 7) // 8
+            out[b * MINIBLOCK : b * MINIBLOCK + n] = unpack_bits(
+                reader.read(n_bytes), width, n
+            )
+        return out.astype(np.int64)
+
+
+@register
+class FastPFOR(Encoding):
+    """Patched FOR: quantile bit width + exception area per miniblock."""
+
+    id = 22
+    name = "fastpfor"
+    kinds = frozenset({Kind.INT})
+
+    def encode(self, values) -> bytes:
+        arr = _require_unsigned(values)
+        writer = ByteWriter()
+        writer.write_u64(len(arr))
+        n_blocks = (len(arr) + MINIBLOCK - 1) // MINIBLOCK
+        widths = np.empty(n_blocks, dtype=np.uint8)
+        packed_parts = []
+        exc_positions: list[np.ndarray] = []
+        exc_values: list[np.ndarray] = []
+        for b in range(n_blocks):
+            block = arr[b * MINIBLOCK : (b + 1) * MINIBLOCK]
+            full_width = min_bit_width(block)
+            q_width = min_bit_width(
+                np.array(
+                    [np.quantile(block.astype(np.float64), PATCH_QUANTILE)]
+                ).astype(np.uint64)
+            )
+            width = q_width if q_width < full_width else full_width
+            widths[b] = width
+            limit = (np.uint64(1) << np.uint64(width)) - np.uint64(1) if width else np.uint64(0)
+            is_exc = block > limit
+            stored = np.where(is_exc, np.uint64(0), block)
+            packed_parts.append(pack_bits(stored, width))
+            positions = np.flatnonzero(is_exc).astype(np.uint32)
+            exc_positions.append(positions + np.uint32(b * MINIBLOCK))
+            exc_values.append(block[is_exc])
+        writer.write_array(widths)
+        all_pos = (
+            np.concatenate(exc_positions)
+            if exc_positions
+            else np.zeros(0, dtype=np.uint32)
+        )
+        all_val = (
+            np.concatenate(exc_values)
+            if exc_values
+            else np.zeros(0, dtype=np.uint64)
+        )
+        writer.write_u32(len(all_pos))
+        writer.write_array(all_pos)
+        writer.write_array(all_val)
+        for part in packed_parts:
+            writer.write(part)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_blocks = (count + MINIBLOCK - 1) // MINIBLOCK
+        widths = reader.read_array(np.uint8, n_blocks)
+        n_exc = reader.read_u32()
+        exc_pos = reader.read_array(np.uint32, n_exc)
+        exc_val = reader.read_array(np.uint64, n_exc)
+        out = np.empty(count, dtype=np.uint64)
+        for b in range(n_blocks):
+            n = min(MINIBLOCK, count - b * MINIBLOCK)
+            width = int(widths[b])
+            n_bytes = (width * n + 7) // 8
+            out[b * MINIBLOCK : b * MINIBLOCK + n] = unpack_bits(
+                reader.read(n_bytes), width, n
+            )
+        if n_exc:
+            out[exc_pos.astype(np.int64)] = exc_val
+        return out.astype(np.int64)

@@ -1,0 +1,253 @@
+"""Gorilla and Chimp XOR-based floating-point encodings.
+
+Table 2 cites Gorilla [70] and Chimp [60]: both XOR each value with its
+predecessor and exploit "patterns in XOR'd values' leading and trailing
+zeros". Gorilla emits (flag, leading-zero count, meaningful-bit length,
+bits); Chimp observes that trailing zeros are rare in real data and
+re-encodes the leading-zero count with a small lookup table plus a
+previous-window trick. We implement Gorilla faithfully and Chimp's
+leading-zero-table variant (its "chimp128" ring buffer is ablated in
+``benchmarks/bench_cascading.py``).
+
+Bit streams are built with a simple append-only bit writer; values are
+processed through float64 bit patterns (float32 inputs are widened
+losslessly and narrowed back on decode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    Kind,
+    as_float,
+    float_dtype_code,
+    float_dtype_from_code,
+    register,
+)
+from repro.util.bitio import ByteReader, ByteWriter
+
+
+class _BitWriter:
+    """MSB-first bit appender used by the XOR codecs."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write_bit(self, bit: int) -> None:
+        self._bits.append(bit & 1)
+
+    def write_bits(self, value: int, width: int) -> None:
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def getvalue(self) -> tuple[bytes, int]:
+        arr = np.array(self._bits, dtype=np.uint8)
+        return np.packbits(arr, bitorder="big").tobytes(), len(arr)
+
+
+class _BitReader:
+    """MSB-first bit consumer matching :class:`_BitWriter`."""
+
+    def __init__(self, data: bytes, total_bits: int) -> None:
+        self._bits = np.unpackbits(
+            np.frombuffer(data, dtype=np.uint8), bitorder="big"
+        )[:total_bits]
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        bit = int(self._bits[self._pos])
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        out = 0
+        for _ in range(width):
+            out = (out << 1) | self.read_bit()
+        return out
+
+
+def _to_bits(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.float64).view(np.uint64)
+
+
+def _leading_zeros64(x: int) -> int:
+    return 64 - x.bit_length() if x else 64
+
+
+def _trailing_zeros64(x: int) -> int:
+    return (x & -x).bit_length() - 1 if x else 64
+
+
+@register
+class Gorilla(Encoding):
+    """Facebook Gorilla XOR compression for float columns."""
+
+    id = 17
+    name = "gorilla"
+    kinds = frozenset({Kind.FLOAT})
+
+    def encode(self, values) -> bytes:
+        values = as_float(values)
+        writer = ByteWriter()
+        writer.write_u8(float_dtype_code(values.dtype))
+        writer.write_u64(len(values))
+        if len(values) == 0:
+            return writer.getvalue()
+        bits = _to_bits(values)
+        bw = _BitWriter()
+        bw.write_bits(int(bits[0]), 64)
+        prev = int(bits[0])
+        prev_lead, prev_trail = 65, 65  # invalid -> first xor writes window
+        for raw in bits[1:]:
+            xor = prev ^ int(raw)
+            if xor == 0:
+                bw.write_bit(0)
+            else:
+                bw.write_bit(1)
+                lead = min(_leading_zeros64(xor), 31)
+                trail = _trailing_zeros64(xor)
+                if lead >= prev_lead and trail >= prev_trail:
+                    bw.write_bit(0)
+                    bw.write_bits(xor >> prev_trail, 64 - prev_lead - prev_trail)
+                else:
+                    bw.write_bit(1)
+                    meaningful = 64 - lead - trail
+                    bw.write_bits(lead, 5)
+                    bw.write_bits(meaningful, 7)  # 7 bits: length can be 64
+                    bw.write_bits(xor >> trail, meaningful)
+                    prev_lead, prev_trail = lead, trail
+            prev = int(raw)
+        payload, n_bits = bw.getvalue()
+        writer.write_u64(n_bits)
+        writer.write(payload)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        dtype = float_dtype_from_code(reader.read_u8())
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=dtype)
+        n_bits = reader.read_u64()
+        br = _BitReader(reader.read((n_bits + 7) // 8), n_bits)
+        out = np.empty(count, dtype=np.uint64)
+        prev = br.read_bits(64)
+        out[0] = prev
+        lead, trail = 65, 65
+        for i in range(1, count):
+            if br.read_bit() == 0:
+                out[i] = prev
+                continue
+            if br.read_bit() == 0:
+                meaningful = 64 - lead - trail
+                xor = br.read_bits(meaningful) << trail
+            else:
+                lead = br.read_bits(5)
+                meaningful = br.read_bits(7)
+                trail = 64 - lead - meaningful
+                xor = br.read_bits(meaningful) << trail
+            prev ^= xor
+            out[i] = prev
+        return out.view(np.float64).astype(dtype)
+
+
+#: Chimp's leading-zero rounding table (values 0..64 -> class)
+_CHIMP_LEAD_ROUND = [0, 8, 12, 16, 18, 20, 22, 24]
+
+
+def _chimp_round_lead(lead: int) -> int:
+    best = 0
+    for v in _CHIMP_LEAD_ROUND:
+        if v <= lead:
+            best = v
+    return best
+
+
+@register
+class Chimp(Encoding):
+    """Chimp: Gorilla with a 3-bit leading-zero class table.
+
+    Flag scheme per value (2 bits):
+      00 -> identical to previous
+      01 -> reuse previous leading class, meaningful bits follow
+      10 -> new leading class (3 bits) + meaningful bits to the end
+      11 -> new leading class (3 bits) + 6-bit significant length + bits
+    """
+
+    id = 18
+    name = "chimp"
+    kinds = frozenset({Kind.FLOAT})
+
+    def encode(self, values) -> bytes:
+        values = as_float(values)
+        writer = ByteWriter()
+        writer.write_u8(float_dtype_code(values.dtype))
+        writer.write_u64(len(values))
+        if len(values) == 0:
+            return writer.getvalue()
+        bits = _to_bits(values)
+        bw = _BitWriter()
+        bw.write_bits(int(bits[0]), 64)
+        prev = int(bits[0])
+        prev_lead_class = -1
+        for raw in bits[1:]:
+            xor = prev ^ int(raw)
+            if xor == 0:
+                bw.write_bits(0b00, 2)
+            else:
+                lead_class = _chimp_round_lead(_leading_zeros64(xor))
+                trail = _trailing_zeros64(xor)
+                if trail > 6:
+                    # worth spending 6 bits on an explicit length
+                    bw.write_bits(0b11, 2)
+                    bw.write_bits(_CHIMP_LEAD_ROUND.index(lead_class), 3)
+                    sig = 64 - lead_class - trail
+                    bw.write_bits(sig, 6)
+                    bw.write_bits(xor >> trail, sig)
+                    prev_lead_class = lead_class
+                elif lead_class == prev_lead_class:
+                    bw.write_bits(0b01, 2)
+                    bw.write_bits(xor, 64 - lead_class)
+                else:
+                    bw.write_bits(0b10, 2)
+                    bw.write_bits(_CHIMP_LEAD_ROUND.index(lead_class), 3)
+                    bw.write_bits(xor, 64 - lead_class)
+                    prev_lead_class = lead_class
+            prev = int(raw)
+        payload, n_bits = bw.getvalue()
+        writer.write_u64(n_bits)
+        writer.write(payload)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        dtype = float_dtype_from_code(reader.read_u8())
+        count = reader.read_u64()
+        if count == 0:
+            return np.zeros(0, dtype=dtype)
+        n_bits = reader.read_u64()
+        br = _BitReader(reader.read((n_bits + 7) // 8), n_bits)
+        out = np.empty(count, dtype=np.uint64)
+        prev = br.read_bits(64)
+        out[0] = prev
+        lead_class = 0
+        for i in range(1, count):
+            flag = br.read_bits(2)
+            if flag == 0b00:
+                out[i] = prev
+                continue
+            if flag == 0b11:
+                lead_class = _CHIMP_LEAD_ROUND[br.read_bits(3)]
+                sig = br.read_bits(6)
+                trail = 64 - lead_class - sig
+                xor = br.read_bits(sig) << trail
+            elif flag == 0b10:
+                lead_class = _CHIMP_LEAD_ROUND[br.read_bits(3)]
+                xor = br.read_bits(64 - lead_class)
+            else:  # 0b01
+                xor = br.read_bits(64 - lead_class)
+            prev ^= xor
+            out[i] = prev
+        return out.view(np.float64).astype(dtype)

@@ -1,0 +1,151 @@
+"""Canonical Huffman encoding for small-range integers.
+
+"An entropy-based encoding optimized for integer values in the small
+range, assigning shorter codes to more frequent values" (Table 2).
+
+We build a canonical Huffman code so only the (symbol, code length)
+pairs need to be persisted; codes are reconstructed deterministically on
+decode. The bit stream is materialized through numpy to keep encode/
+decode out of pure-Python inner loops where possible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    as_int64,
+    register,
+)
+from repro.util.bitio import ByteReader, ByteWriter
+
+#: guardrail: Huffman tables beyond this cardinality are a selector bug
+MAX_SYMBOLS = 65536
+
+
+def _code_lengths(symbols: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Huffman code length per symbol via the standard heap algorithm."""
+    if len(symbols) == 1:
+        return np.array([1], dtype=np.uint8)
+    heap = [(int(c), i, None) for i, c in enumerate(counts)]
+    heapq.heapify(heap)
+    tick = len(heap)
+    parents: dict[int, tuple] = {}
+    while len(heap) > 1:
+        a = heapq.heappop(heap)
+        b = heapq.heappop(heap)
+        node = (a[0] + b[0], tick, (a, b))
+        tick += 1
+        heapq.heappush(heap, node)
+    lengths = np.zeros(len(symbols), dtype=np.uint8)
+
+    stack = [(heap[0], 0)]
+    while stack:
+        (count, ident, children), depth = stack.pop()
+        if children is None:
+            lengths[ident] = max(depth, 1)
+        else:
+            stack.append(((children[0]), depth + 1))
+            stack.append(((children[1]), depth + 1))
+    return lengths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codes given code lengths (sorted-by-length rule)."""
+    order = np.lexsort((np.arange(len(lengths)), lengths))
+    codes = np.zeros(len(lengths), dtype=np.uint64)
+    code = 0
+    prev_len = 0
+    for idx in order:
+        length = int(lengths[idx])
+        code <<= length - prev_len
+        codes[idx] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+@register
+class Huffman(Encoding):
+    """Canonical Huffman over the distinct values of an int64 column."""
+
+    id = 8
+    name = "huffman"
+    kinds = frozenset({Kind.INT})
+
+    def encode(self, values) -> bytes:
+        values = as_int64(values)
+        writer = ByteWriter()
+        writer.write_u64(len(values))
+        if len(values) == 0:
+            writer.write_u32(0)
+            return writer.getvalue()
+        symbols, inverse, counts = np.unique(
+            values, return_inverse=True, return_counts=True
+        )
+        if len(symbols) > MAX_SYMBOLS:
+            raise EncodingError(
+                f"huffman table would need {len(symbols)} symbols "
+                f"(max {MAX_SYMBOLS}); use dictionary or FOR instead"
+            )
+        lengths = _code_lengths(symbols, counts)
+        codes = _canonical_codes(lengths)
+        writer.write_u32(len(symbols))
+        writer.write_array(symbols.astype(np.int64))
+        writer.write_array(lengths)
+        # emit bit stream: per value, `length` bits of its code, MSB first
+        value_codes = codes[inverse]
+        value_lengths = lengths[inverse].astype(np.int64)
+        total_bits = int(value_lengths.sum())
+        bit_parts = []
+        for code, length in zip(value_codes, value_lengths):
+            length = int(length)
+            bits = (int(code) >> np.arange(length - 1, -1, -1)) & 1
+            bit_parts.append(bits.astype(np.uint8))
+        all_bits = (
+            np.concatenate(bit_parts) if bit_parts else np.zeros(0, dtype=np.uint8)
+        )
+        writer.write_u64(total_bits)
+        writer.write(np.packbits(all_bits, bitorder="big").tobytes())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        count = reader.read_u64()
+        n_symbols = reader.read_u32()
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        symbols = reader.read_array(np.int64, n_symbols)
+        lengths = reader.read_array(np.uint8, n_symbols)
+        codes = _canonical_codes(lengths)
+        # canonical decode table: (length, code) -> symbol index
+        table = {
+            (int(lengths[i]), int(codes[i])): i for i in range(n_symbols)
+        }
+        total_bits = reader.read_u64()
+        raw = reader.read((total_bits + 7) // 8)
+        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="big")
+        out = np.empty(count, dtype=np.int64)
+        pos = 0
+        acc = 0
+        acc_len = 0
+        produced = 0
+        max_len = int(lengths.max())
+        while produced < count:
+            if acc_len > max_len or pos >= total_bits:
+                raise EncodingError("corrupt huffman bit stream")
+            acc = (acc << 1) | int(bits[pos])
+            pos += 1
+            acc_len += 1
+            hit = table.get((acc_len, acc))
+            if hit is not None:
+                out[produced] = symbols[hit]
+                produced += 1
+                acc = 0
+                acc_len = 0
+        return out

@@ -1,0 +1,188 @@
+"""Null handling: Nullable, SparseBool and Sentinel encodings.
+
+Table 2:
+* Nullable — "handles null values using a two-subcolumn structure: one
+  for null indicators and another for non-null values";
+* SparseBool — "an optimized bitmap encoding for boolean values,
+  typically used as a subcolumn in Nullable encoding";
+* Sentinel — "represents null values by designating an unused value as
+  a sentinel marker, encoding the data in a single subcolumn".
+
+Nullable values travel as ``numpy.ma.MaskedArray`` for INT/FLOAT kinds
+and as ``list[bytes | None]`` for BYTES.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    decode_child,
+    encode_child,
+    register,
+)
+from repro.encodings.trivial import Trivial
+from repro.util.bitio import ByteReader, ByteWriter
+from repro.util.varint import decode_varint_array, encode_varint_array
+
+_MODE_BITMAP = 0
+_MODE_POSITIONS = 1
+
+
+@register
+class SparseBool(Encoding):
+    """Adaptive boolean encoding: dense bitmap or sparse position list.
+
+    Chooses whichever representation is smaller: a packed bitmap
+    (n/8 bytes) or delta-varint positions of the set bits.
+    """
+
+    id = 10
+    name = "sparse_bool"
+    kinds = frozenset({Kind.BOOL})
+
+    def encode(self, values) -> bytes:
+        arr = np.asarray(values)
+        if arr.dtype != np.bool_:
+            raise EncodingError("sparse_bool expects a boolean array")
+        writer = ByteWriter()
+        writer.write_u64(len(arr))
+        positions = np.flatnonzero(arr).astype(np.uint64)
+        pos_payload = encode_varint_array(
+            np.diff(positions, prepend=np.uint64(0))
+            if len(positions)
+            else positions
+        )
+        bitmap_size = (len(arr) + 7) // 8
+        if len(pos_payload) + 8 < bitmap_size:
+            writer.write_u8(_MODE_POSITIONS)
+            writer.write_u64(len(positions))
+            writer.write(pos_payload)
+        else:
+            writer.write_u8(_MODE_BITMAP)
+            writer.write(np.packbits(arr, bitorder="little").tobytes())
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ndarray:
+        count = reader.read_u64()
+        mode = reader.read_u8()
+        if mode == _MODE_BITMAP:
+            raw = reader.read((count + 7) // 8)
+            bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                                 bitorder="little")
+            return bits[:count].astype(np.bool_)
+        if mode == _MODE_POSITIONS:
+            n_set = reader.read_u64()
+            data = reader.read(reader.remaining())
+            deltas, used = decode_varint_array(data, n_set)
+            reader._pos -= len(data) - used
+            out = np.zeros(count, dtype=np.bool_)
+            if n_set:
+                out[np.cumsum(deltas.astype(np.int64))] = True
+            return out
+        raise EncodingError(f"bad sparse_bool mode {mode}")
+
+
+def _split_nullable(values):
+    """Normalize nullable input -> (null_mask: bool array, dense values)."""
+    if isinstance(values, np.ma.MaskedArray):
+        mask = np.ma.getmaskarray(values).copy()
+        dense = np.asarray(values.filled(0))[~mask]
+        return mask, dense
+    if isinstance(values, (list, tuple)):
+        mask = np.array([v is None for v in values], dtype=np.bool_)
+        dense = [v for v in values if v is not None]
+        return mask, dense
+    raise EncodingError(
+        "nullable input must be a MaskedArray or a list with None entries"
+    )
+
+
+@register
+class Nullable(Encoding):
+    """Null bitmap sub-column + dense non-null values sub-column."""
+
+    id = 9
+    name = "nullable"
+    kinds = frozenset({Kind.INT, Kind.FLOAT, Kind.BYTES})
+
+    def __init__(
+        self,
+        values_child: Encoding | None = None,
+        nulls_child: Encoding | None = None,
+    ) -> None:
+        self._values_child = values_child if values_child is not None else Trivial()
+        self._nulls_child = nulls_child if nulls_child is not None else SparseBool()
+
+    def encode(self, values) -> bytes:
+        mask, dense = _split_nullable(values)
+        writer = ByteWriter()
+        is_bytes = isinstance(dense, list)
+        writer.write_u8(1 if is_bytes else 0)
+        encode_child(writer, mask, self._nulls_child)
+        encode_child(writer, dense, self._values_child)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader):
+        is_bytes = reader.read_u8() == 1
+        mask = decode_child(reader)
+        dense = decode_child(reader)
+        if is_bytes:
+            out: list[bytes | None] = [None] * len(mask)
+            it = iter(dense)
+            for i in np.flatnonzero(~mask):
+                out[int(i)] = next(it)
+            return out
+        full = np.zeros(len(mask), dtype=np.asarray(dense).dtype)
+        full[~mask] = dense
+        return np.ma.MaskedArray(full, mask=mask)
+
+
+@register
+class Sentinel(Encoding):
+    """Single sub-column nullable encoding using an unused sentinel.
+
+    Only valid for INT columns where some value is provably unused; we
+    pick ``max + 1`` (or int64 min for all-range columns, raising if the
+    domain is saturated).
+    """
+
+    id = 11
+    name = "sentinel"
+    kinds = frozenset({Kind.INT})
+
+    def __init__(self, values_child: Encoding | None = None) -> None:
+        self._values_child = values_child if values_child is not None else Trivial()
+
+    def encode(self, values) -> bytes:
+        if not isinstance(values, np.ma.MaskedArray):
+            raise EncodingError("sentinel expects a masked int array")
+        mask = np.ma.getmaskarray(values)
+        dense = np.asarray(values.filled(0)).astype(np.int64)
+        present = dense[~mask]
+        if len(present) == 0:
+            sentinel = 0
+        elif int(present.max()) < np.iinfo(np.int64).max:
+            sentinel = int(present.max()) + 1
+        elif int(present.min()) > np.iinfo(np.int64).min:
+            sentinel = int(present.min()) - 1
+        else:
+            raise EncodingError("no unused sentinel value available")
+        full = dense.copy()
+        full[mask] = sentinel
+        writer = ByteWriter()
+        writer.write_i64(sentinel)
+        encode_child(writer, full, self._values_child)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: ByteReader) -> np.ma.MaskedArray:
+        sentinel = reader.read_i64()
+        full = decode_child(reader)
+        mask = full == sentinel
+        return np.ma.MaskedArray(full, mask=mask)

@@ -1,0 +1,13 @@
+"""Simulated storage substrate.
+
+The paper's I/O claims (deletion rewrite cost, metadata pread counts,
+multimodal seek behaviour) are about *bytes moved and seeks issued*.
+We have no 100 PB HDFS testbed, so every Bullion/baseline file in this
+repo is read and written through :class:`SimulatedStorage`, a
+byte-accurate block device that counts operations and models seek and
+bandwidth costs. See DESIGN.md §3 (substitutions).
+"""
+
+from repro.iosim.blockdev import IOStats, SeekModel, SimulatedStorage
+
+__all__ = ["SimulatedStorage", "IOStats", "SeekModel"]

@@ -1,0 +1,34 @@
+"""Multimodal storage (paper §2.5, Fig 7).
+
+Dual-table layout: columnar meta table with inlined highlight frames +
+Avro-like row-oriented media table for full-resolution video, plus the
+quality-aware row reordering and recsys column reordering strategies.
+"""
+
+from repro.multimodal.dataset import (
+    BatchReadReport,
+    MultimodalDataset,
+    MultimodalSample,
+)
+from repro.multimodal.media import (
+    MediaReader,
+    MediaRef,
+    MediaWriter,
+)
+from repro.multimodal.quality import (
+    contiguous_run_stats,
+    reorder_columns,
+    sort_rows_by_quality,
+)
+
+__all__ = [
+    "MultimodalDataset",
+    "MultimodalSample",
+    "BatchReadReport",
+    "MediaWriter",
+    "MediaReader",
+    "MediaRef",
+    "sort_rows_by_quality",
+    "reorder_columns",
+    "contiguous_run_stats",
+]

@@ -1,0 +1,56 @@
+"""Storage quantization (paper §2.4, Fig 6).
+
+Float formats (FP64/FP32/TF32/FP16/BF16/FP8), lossless integer
+narrowing and ID re-coding, per-feature mixed-precision policies, and
+the dual-column FP32 = 2 x 16-bit decomposition.
+"""
+
+from repro.quantization.dual import (
+    hi_as_bf16_float,
+    join_bits,
+    join_numeric,
+    split_bits,
+    split_numeric,
+)
+from repro.quantization.floats import (
+    BIT_LAYOUT,
+    STORAGE_BYTES,
+    FloatFormat,
+    QuantizationError,
+    dequantize,
+    quantize,
+)
+from repro.quantization.integers import (
+    HashFold,
+    IdRemap,
+    downcast,
+    smallest_signed_dtype,
+)
+from repro.quantization.policy import (
+    QuantizationPolicy,
+    QuantizedTable,
+    auto_assign,
+    error_budget_assign,
+)
+
+__all__ = [
+    "FloatFormat",
+    "QuantizationError",
+    "BIT_LAYOUT",
+    "STORAGE_BYTES",
+    "quantize",
+    "dequantize",
+    "downcast",
+    "smallest_signed_dtype",
+    "IdRemap",
+    "HashFold",
+    "QuantizationPolicy",
+    "QuantizedTable",
+    "auto_assign",
+    "error_budget_assign",
+    "split_bits",
+    "join_bits",
+    "split_numeric",
+    "join_numeric",
+    "hi_as_bf16_float",
+]

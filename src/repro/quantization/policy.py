@@ -1,0 +1,129 @@
+"""Mixed-precision quantization policies (paper §2.4).
+
+"Different features and embeddings exhibit varying degrees of precision
+sensitivity, which implies that a mixed-precision quantization strategy
+should be used that can be dynamically tuned at the granularity of
+individual features."
+
+:class:`QuantizationPolicy` assigns a :class:`FloatFormat` per feature.
+:func:`auto_assign` derives a policy from per-feature sensitivity
+scores (e.g. feature-importance from the ranking model): the most
+sensitive tier keeps FP32, the middle tier gets FP16/BF16, the long
+tail drops to FP8 — and the measured storage savings are exactly what
+"can be strategically reinvested to enhance model capabilities".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quantization.floats import (
+    STORAGE_BYTES,
+    FloatFormat,
+    QuantizationError,
+    dequantize,
+    quantize,
+)
+
+
+@dataclass
+class QuantizationPolicy:
+    """feature name -> storage format, with a default for the rest."""
+
+    assignments: dict[str, FloatFormat] = field(default_factory=dict)
+    default: FloatFormat = FloatFormat.FP32
+
+    def format_for(self, feature: str) -> FloatFormat:
+        return self.assignments.get(feature, self.default)
+
+    def apply(self, columns: dict[str, np.ndarray]) -> "QuantizedTable":
+        stored = {}
+        formats = {}
+        for name, values in columns.items():
+            fmt = self.format_for(name)
+            stored[name] = quantize(values, fmt)
+            formats[name] = fmt
+        return QuantizedTable(stored=stored, formats=formats)
+
+
+@dataclass
+class QuantizedTable:
+    """Quantized feature columns plus their formats and savings."""
+
+    stored: dict[str, np.ndarray]
+    formats: dict[str, FloatFormat]
+
+    def read(self, feature: str) -> np.ndarray:
+        return dequantize(self.stored[feature], self.formats[feature])
+
+    def stored_bytes(self) -> int:
+        return sum(
+            len(v) * STORAGE_BYTES[self.formats[k]]
+            for k, v in self.stored.items()
+        )
+
+    def fp32_bytes(self) -> int:
+        return sum(4 * len(v) for v in self.stored.values())
+
+    def savings(self) -> float:
+        """1 - stored/fp32; the headline §2.4 number."""
+        fp32 = self.fp32_bytes()
+        return 0.0 if fp32 == 0 else 1.0 - self.stored_bytes() / fp32
+
+
+def auto_assign(
+    sensitivities: dict[str, float],
+    critical_quantile: float = 0.9,
+    mid_quantile: float = 0.5,
+    mid_format: FloatFormat = FloatFormat.FP16,
+    tail_format: FloatFormat = FloatFormat.FP8_E4M3,
+) -> QuantizationPolicy:
+    """Tiered policy from per-feature sensitivity scores.
+
+    Features above the ``critical_quantile`` of the sensitivity
+    distribution stay FP32; those above ``mid_quantile`` get
+    ``mid_format``; the rest get ``tail_format``.
+    """
+    if not sensitivities:
+        return QuantizationPolicy()
+    scores = np.array(list(sensitivities.values()), dtype=np.float64)
+    hi = float(np.quantile(scores, critical_quantile))
+    mid = float(np.quantile(scores, mid_quantile))
+    assignments = {}
+    for name, score in sensitivities.items():
+        if score >= hi:
+            assignments[name] = FloatFormat.FP32
+        elif score >= mid:
+            assignments[name] = mid_format
+        else:
+            assignments[name] = tail_format
+    return QuantizationPolicy(assignments=assignments)
+
+
+def error_budget_assign(
+    columns: dict[str, np.ndarray],
+    max_relative_error: float,
+    candidates: tuple[FloatFormat, ...] = (
+        FloatFormat.FP8_E4M3,
+        FloatFormat.BF16,
+        FloatFormat.FP16,
+        FloatFormat.FP32,
+    ),
+) -> QuantizationPolicy:
+    """Pick, per feature, the cheapest format within an error budget.
+
+    Candidates are tried cheapest-first; the first whose measured mean
+    relative error on the actual data is within budget wins.
+    """
+    assignments = {}
+    for name, values in columns.items():
+        chosen = candidates[-1]
+        for fmt in candidates:
+            err = QuantizationError.measure(values, fmt)
+            if err.mean_relative_error <= max_relative_error:
+                chosen = fmt
+                break
+        assignments[name] = chosen
+    return QuantizationPolicy(assignments=assignments)

@@ -1,0 +1,5 @@
+"""Operational tooling: file inspection and layout reports."""
+
+from repro.tools.inspect import ColumnReport, FileReport, describe, inspect_file
+
+__all__ = ["inspect_file", "describe", "FileReport", "ColumnReport"]

@@ -1,0 +1,39 @@
+"""Shared low-level utilities: byte streams, bit packing, varints, hashing.
+
+These are the primitives every encoding and the file format itself are
+built from. They are deliberately dependency-free (numpy only) so that
+the encoding catalog in :mod:`repro.encodings` stays self-contained.
+"""
+
+from repro.util.bitio import (
+    ByteReader,
+    ByteWriter,
+    pack_bits,
+    unpack_bits,
+    min_bit_width,
+)
+from repro.util.varint import (
+    decode_varint,
+    decode_varint_array,
+    encode_varint,
+    encode_varint_array,
+    zigzag_decode,
+    zigzag_encode,
+)
+from repro.util.hashing import hash64, hash_bytes
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "pack_bits",
+    "unpack_bits",
+    "min_bit_width",
+    "encode_varint",
+    "decode_varint",
+    "encode_varint_array",
+    "decode_varint_array",
+    "zigzag_encode",
+    "zigzag_decode",
+    "hash64",
+    "hash_bytes",
+]

@@ -1,0 +1,203 @@
+"""Byte-stream helpers and vectorized bit packing.
+
+``ByteWriter``/``ByteReader`` are tiny framing helpers used by every
+encoding payload: fixed-width scalars, length-prefixed blobs and numpy
+arrays. ``pack_bits``/``unpack_bits`` implement fixed-bit-width packing
+(the workhorse behind FixedBitWidth, FOR, dictionary codes and the
+FastPFOR/FastBP128 kernels) using numpy's ``packbits``/``unpackbits`` so
+the inner loop stays in C.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+
+class ByteWriter:
+    """Append-only binary buffer with struct-style typed writes."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def write(self, data: bytes) -> None:
+        self._parts.append(bytes(data))
+
+    def write_u8(self, value: int) -> None:
+        self._parts.append(struct.pack("<B", value))
+
+    def write_u16(self, value: int) -> None:
+        self._parts.append(struct.pack("<H", value))
+
+    def write_u32(self, value: int) -> None:
+        self._parts.append(struct.pack("<I", value))
+
+    def write_u64(self, value: int) -> None:
+        self._parts.append(struct.pack("<Q", value))
+
+    def write_i64(self, value: int) -> None:
+        self._parts.append(struct.pack("<q", value))
+
+    def write_f64(self, value: float) -> None:
+        self._parts.append(struct.pack("<d", value))
+
+    def write_blob(self, data: bytes) -> None:
+        """Length-prefixed (u32) byte blob."""
+        self.write_u32(len(data))
+        self.write(data)
+
+    def write_array(self, values: np.ndarray) -> None:
+        """Raw little-endian dump of a numpy array (caller tracks dtype)."""
+        arr = np.ascontiguousarray(values)
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        self._parts.append(arr.tobytes())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class ByteReader:
+    """Sequential reader over a bytes-like object."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._pos = offset
+
+    @property
+    def pos(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def read(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._data):
+            raise ValueError(
+                f"read of {n} bytes at offset {self._pos} exceeds "
+                f"buffer of {len(self._data)} bytes"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return bytes(out)
+
+    def _unpack(self, fmt: str, size: int):
+        value = struct.unpack_from(fmt, self._data, self._pos)[0]
+        self._pos += size
+        return value
+
+    def read_u8(self) -> int:
+        return self._unpack("<B", 1)
+
+    def read_u16(self) -> int:
+        return self._unpack("<H", 2)
+
+    def read_u32(self) -> int:
+        return self._unpack("<I", 4)
+
+    def read_u64(self) -> int:
+        return self._unpack("<Q", 8)
+
+    def read_i64(self) -> int:
+        return self._unpack("<q", 8)
+
+    def read_f64(self) -> float:
+        return self._unpack("<d", 8)
+
+    def read_blob(self) -> bytes:
+        return self.read(self.read_u32())
+
+    def read_array(self, dtype, count: int) -> np.ndarray:
+        dt = np.dtype(dtype)
+        raw = self.read(dt.itemsize * count)
+        return np.frombuffer(raw, dtype=dt).copy()
+
+
+def min_bit_width(values: np.ndarray) -> int:
+    """Smallest bit width able to represent every (unsigned) value.
+
+    An all-zero or empty array needs width 0 (a valid degenerate pack).
+    """
+    if len(values) == 0:
+        return 0
+    max_value = int(values.max())
+    if max_value < 0:
+        raise ValueError("min_bit_width requires non-negative values")
+    return int(max_value).bit_length()
+
+
+def pack_bits(values: np.ndarray, width: int) -> bytes:
+    """Pack non-negative integers into ``width`` bits each (LSB-first).
+
+    Layout: value ``i`` occupies bits ``[i*width, (i+1)*width)`` of the
+    output bit stream; within a value, bit 0 is the value's LSB. This
+    fixed layout is what lets the deletion path mask individual slots
+    without decoding the page (see :mod:`repro.core.deletion`).
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    if width == 0:
+        return b""
+    if width > 64:
+        raise ValueError(f"bit width {width} exceeds 64")
+    if len(values) == 0:
+        return b""
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits.reshape(-1), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, width: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns uint64 array of ``count``."""
+    if width == 0:
+        return np.zeros(count, dtype=np.uint64)
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    needed_bits = width * count
+    raw = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(raw, bitorder="little")
+    if len(bits) < needed_bits:
+        raise ValueError(
+            f"bit buffer too small: have {len(bits)} bits, need {needed_bits}"
+        )
+    bits = bits[:needed_bits].reshape(count, width).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
+    return (bits * weights[None, :]).sum(axis=1, dtype=np.uint64)
+
+
+def set_packed_value(buf: bytearray, index: int, width: int, value: int) -> None:
+    """Overwrite slot ``index`` of a packed-bit buffer in place.
+
+    Used by deletion-compliance masking: a page encoded with a fixed bit
+    width can have individual slots scrubbed without touching its
+    neighbours, so the page size is trivially unchanged.
+    """
+    if width == 0:
+        return
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bit_start = index * width
+    for k in range(width):
+        bit = (value >> k) & 1
+        pos = bit_start + k
+        byte_idx, bit_idx = divmod(pos, 8)
+        if bit:
+            buf[byte_idx] |= 1 << bit_idx
+        else:
+            buf[byte_idx] &= ~(1 << bit_idx) & 0xFF
+
+
+def get_packed_value(buf: bytes, index: int, width: int) -> int:
+    """Read slot ``index`` of a packed-bit buffer without full decode."""
+    if width == 0:
+        return 0
+    bit_start = index * width
+    out = 0
+    for k in range(width):
+        pos = bit_start + k
+        byte_idx, bit_idx = divmod(pos, 8)
+        out |= ((buf[byte_idx] >> bit_idx) & 1) << k
+    return out

@@ -1,0 +1,40 @@
+"""64-bit hashing used by the footer column map and the Merkle tree.
+
+``hash64`` is FNV-1a over UTF-8 names: deterministic across runs and
+platforms (unlike Python's randomized ``hash``), which matters because
+the hash is *persisted* in the footer's sorted column map.
+
+``hash_bytes`` is the page/row-group checksum function backing the
+Merkle tree (Fig 2). blake2b is in the stdlib, keyed to 8 bytes so the
+tree nodes stay fixed-width in the footer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def hash64(name: str | bytes) -> int:
+    """FNV-1a 64-bit hash of a column name (stable across processes)."""
+    data = name.encode("utf-8") if isinstance(name, str) else bytes(name)
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def hash_bytes(data: bytes) -> int:
+    """64-bit content checksum for pages and Merkle nodes."""
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def combine_hashes(hashes: list[int]) -> int:
+    """Parent node hash from ordered child hashes (Merkle combiner)."""
+    buf = b"".join(h.to_bytes(8, "little") for h in hashes)
+    return hash_bytes(buf)

@@ -1,0 +1,64 @@
+"""Workload generators standing in for the paper's production data.
+
+Each generator reproduces the *structure* the corresponding experiment
+depends on (see DESIGN.md §3): the Table 1 type census, Fig 1 size
+distribution, Fig 3 sliding windows, user-centric event sequences,
+multimodal samples with long-tail quality, and low-rank embeddings.
+"""
+
+from repro.workloads.ads import (
+    AdsDataConfig,
+    TABLE1_BREAKDOWN,
+    TABLE1_TOTAL_COLUMNS,
+    build_ads_schema,
+    census_of,
+    estimate_table_size_pb,
+    generate_ads_table,
+    top10_table_sizes_pb,
+)
+from repro.workloads.embeddings import (
+    EmbeddingConfig,
+    embedding_table,
+    generate_embeddings,
+)
+from repro.workloads.events import (
+    EventLog,
+    EventLogConfig,
+    EventType,
+    generate_event_log,
+    impression_centric_table,
+    storage_comparison,
+    user_centric_table,
+)
+from repro.workloads.multimodal_gen import MultimodalConfig, generate_samples
+from repro.workloads.sparse import (
+    SlidingWindowConfig,
+    generate_click_sequences,
+    overlap_profile,
+)
+
+__all__ = [
+    "TABLE1_BREAKDOWN",
+    "TABLE1_TOTAL_COLUMNS",
+    "AdsDataConfig",
+    "build_ads_schema",
+    "census_of",
+    "generate_ads_table",
+    "top10_table_sizes_pb",
+    "estimate_table_size_pb",
+    "SlidingWindowConfig",
+    "generate_click_sequences",
+    "overlap_profile",
+    "EventLog",
+    "EventLogConfig",
+    "EventType",
+    "generate_event_log",
+    "impression_centric_table",
+    "user_centric_table",
+    "storage_comparison",
+    "MultimodalConfig",
+    "generate_samples",
+    "EmbeddingConfig",
+    "generate_embeddings",
+    "embedding_table",
+]

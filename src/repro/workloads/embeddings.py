@@ -1,0 +1,41 @@
+"""Embedding workload generator (paper §2.4 / LLM serving).
+
+Embedding vectors are "typically normalized to (-1, 1)"; real embedding
+matrices also have correlated dimensions (low-rank structure), which is
+what gives BF16-aware and XOR-style encodings traction. The generator
+produces both the normalized vectors and a low-rank + noise variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class EmbeddingConfig:
+    n_vectors: int = 1000
+    dim: int = 64
+    rank: int = 8  # effective rank of the low-rank component
+    noise: float = 0.05
+    seed: int = 0
+
+
+def generate_embeddings(config: EmbeddingConfig) -> np.ndarray:
+    """(n, dim) float32 matrix, rows normalized into (-1, 1)."""
+    rng = np.random.default_rng(config.seed)
+    factors = rng.normal(size=(config.n_vectors, config.rank))
+    basis = rng.normal(size=(config.rank, config.dim))
+    mat = factors @ basis + config.noise * rng.normal(
+        size=(config.n_vectors, config.dim)
+    )
+    # squash into (-1, 1) like cosine-normalized embeddings
+    mat = np.tanh(mat / np.abs(mat).max())
+    return mat.astype(np.float32)
+
+
+def embedding_table(config: EmbeddingConfig) -> dict[str, np.ndarray]:
+    """Per-dimension columns, the storage layout Bullion would use."""
+    mat = generate_embeddings(config)
+    return {f"dim_{d}": mat[:, d].copy() for d in range(config.dim)}

@@ -1,0 +1,153 @@
+"""User-centric event sequences for Generative Recommendation (§2.2).
+
+The paper's "Challenge" paragraph: "recent advances in Generative
+Recommendation mandate a paradigm shift from impression-centric to
+user-centric data modeling. This transition replaces discrete binary
+labels with temporal event sequences, where each user record
+encapsulates a comprehensive interaction history spanning both organic
+activities and advertising events (requests, impressions, and
+conversions) ... as a single training example per user."
+
+This module generates both representations from one underlying event
+stream, so the storage comparison (rows, bytes, retrieval pattern) the
+challenge motivates can be measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.table import Table
+
+
+class EventType(enum.IntEnum):
+    ORGANIC = 0
+    AD_REQUEST = 1
+    AD_IMPRESSION = 2
+    AD_CONVERSION = 3
+
+
+@dataclass
+class EventLogConfig:
+    n_users: int = 200
+    mean_events_per_user: float = 40.0
+    item_space: int = 100_000
+    conversion_rate: float = 0.05
+    seed: int = 0
+
+
+@dataclass
+class EventLog:
+    """Flat (uid, ts, type, item) stream sorted by (uid, ts)."""
+
+    uid: np.ndarray
+    timestamp: np.ndarray
+    event_type: np.ndarray
+    item_id: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.uid)
+
+
+def generate_event_log(config: EventLogConfig) -> EventLog:
+    rng = np.random.default_rng(config.seed)
+    uids, ts, types, items = [], [], [], []
+    for uid in range(config.n_users):
+        n = max(1, int(rng.poisson(config.mean_events_per_user)))
+        t = np.sort(rng.integers(0, 10**6, n))
+        kinds = rng.choice(
+            [
+                EventType.ORGANIC,
+                EventType.AD_REQUEST,
+                EventType.AD_IMPRESSION,
+            ],
+            size=n,
+            p=[0.5, 0.2, 0.3],
+        ).astype(np.int64)
+        convert = (kinds == EventType.AD_IMPRESSION) & (
+            rng.random(n) < config.conversion_rate
+        )
+        kinds[convert] = EventType.AD_CONVERSION
+        uids.append(np.full(n, uid, dtype=np.int64))
+        ts.append(t.astype(np.int64))
+        types.append(kinds)
+        items.append(rng.integers(0, config.item_space, n).astype(np.int64))
+    return EventLog(
+        uid=np.concatenate(uids),
+        timestamp=np.concatenate(ts),
+        event_type=np.concatenate(types),
+        item_id=np.concatenate(items),
+    )
+
+
+def impression_centric_table(log: EventLog) -> Table:
+    """Classic training data: one row per ad impression, binary label.
+
+    "a user with n ad impressions generates n distinct training
+    records" — the label is whether a conversion followed.
+    """
+    mask = np.isin(
+        log.event_type,
+        [int(EventType.AD_IMPRESSION), int(EventType.AD_CONVERSION)],
+    )
+    labels = (log.event_type[mask] == int(EventType.AD_CONVERSION)).astype(
+        np.int64
+    )
+    return Table(
+        {
+            "uid": log.uid[mask],
+            "timestamp": log.timestamp[mask],
+            "item_id": log.item_id[mask],
+            "label": labels,
+        }
+    )
+
+
+def user_centric_table(log: EventLog) -> Table:
+    """Generative-rec data: one row per user, full temporal sequences."""
+    order = np.lexsort((log.timestamp, log.uid))
+    uid = log.uid[order]
+    boundaries = np.concatenate(
+        ([0], np.flatnonzero(uid[1:] != uid[:-1]) + 1, [len(uid)])
+    )
+    uids, times, types, items = [], [], [], []
+    for i in range(len(boundaries) - 1):
+        lo, hi = boundaries[i], boundaries[i + 1]
+        uids.append(int(uid[lo]))
+        times.append(log.timestamp[order][lo:hi])
+        types.append(log.event_type[order][lo:hi])
+        items.append(log.item_id[order][lo:hi])
+    return Table(
+        {
+            "uid": np.array(uids, dtype=np.int64),
+            "event_times": times,
+            "event_types": types,
+            "event_items": items,
+        }
+    )
+
+
+def storage_comparison(log: EventLog) -> dict[str, float]:
+    """Rows and raw bytes of the two modelings (the challenge's delta)."""
+    imp = impression_centric_table(log)
+    usr = user_centric_table(log)
+
+    def raw_bytes(table: Table) -> int:
+        total = 0
+        for values in table.columns.values():
+            if isinstance(values, np.ndarray):
+                total += values.nbytes
+            else:
+                total += sum(np.asarray(v).nbytes for v in values)
+        return total
+
+    return {
+        "impression_rows": imp.num_rows,
+        "user_rows": usr.num_rows,
+        "impression_bytes": raw_bytes(imp),
+        "user_bytes": raw_bytes(usr),
+        "rows_ratio": imp.num_rows / max(1, usr.num_rows),
+    }

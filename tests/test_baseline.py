@@ -1,0 +1,155 @@
+"""Tests for the Parquet-like baseline (thrift-like protocol + format)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    ParquetLikeReader,
+    ParquetLikeWriter,
+    parse_metadata,
+    serialize_metadata,
+)
+from repro.baseline.metadata import (
+    ColumnMetaData,
+    FileMetaData,
+    RowGroup,
+    SchemaElement,
+    Statistics,
+)
+from repro.baseline.thriftlike import CompactReader, CompactWriter, T_STRUCT
+from repro.core.table import Table
+from repro.iosim import SimulatedStorage
+
+
+class TestCompactProtocol:
+    def test_field_types_roundtrip(self):
+        w = CompactWriter()
+        w.struct_begin()
+        w.field_i32(1, -42)
+        w.field_i64(2, 2**40)
+        w.field_bool(3, True)
+        w.field_string(4, "path.to.column")
+        w.struct_end()
+        r = CompactReader(w.getvalue())
+        r.struct_begin()
+        fid, _t = r.read_field_header()
+        assert fid == 1 and r.read_i32() == -42
+        fid, _t = r.read_field_header()
+        assert fid == 2 and r.read_i64() == 2**40
+        fid, t = r.read_field_header()
+        assert fid == 3  # bool value is in the type nibble
+        fid, _t = r.read_field_header()
+        assert fid == 4 and r.read_string() == "path.to.column"
+        assert r.read_field_header() is None
+
+    def test_field_id_delta_encoding(self):
+        w = CompactWriter()
+        w.struct_begin()
+        w.field_i32(1, 0)
+        w.field_i32(100, 0)  # delta 99 > 15: explicit id path
+        w.struct_end()
+        r = CompactReader(w.getvalue())
+        r.struct_begin()
+        assert r.read_field_header()[0] == 1
+        r.read_i32()
+        assert r.read_field_header()[0] == 100
+
+    def test_skip_walks_nested_structs(self):
+        w = CompactWriter()
+        w.struct_begin()
+        w.field_struct(1)
+        w.field_string(1, "inner")
+        w.struct_end()
+        w.field_i32(2, 5)
+        w.struct_end()
+        r = CompactReader(w.getvalue())
+        r.struct_begin()
+        _fid, t = r.read_field_header()
+        r.skip(t)  # skip the nested struct entirely
+        fid, _t = r.read_field_header()
+        assert fid == 2 and r.read_i32() == 5
+
+
+class TestMetadataRoundtrip:
+    def _meta(self, n_cols=100):
+        meta = FileMetaData(num_rows=777)
+        meta.schema.append(SchemaElement(name="root", num_children=n_cols))
+        rg = RowGroup(num_rows=777)
+        for i in range(n_cols):
+            meta.schema.append(SchemaElement(name=f"col{i}", type_code=1))
+            rg.columns.append(
+                ColumnMetaData(
+                    path_in_schema=f"col{i}",
+                    type_code=1,
+                    encodings=[0, 4],
+                    num_values=777,
+                    data_page_offset=1000 + i,
+                    statistics=Statistics(b"\x00", b"\xff", i),
+                )
+            )
+        meta.row_groups.append(rg)
+        return meta
+
+    def test_roundtrip(self):
+        meta = self._meta()
+        out = parse_metadata(serialize_metadata(meta))
+        assert out.num_rows == 777
+        assert len(out.schema) == 101
+        assert out.row_groups[0].columns[42].path_in_schema == "col42"
+        assert out.row_groups[0].columns[42].statistics.null_count == 42
+        assert out.row_groups[0].columns[7].encodings == [0, 4]
+
+    def test_parse_cost_scales_with_columns(self):
+        """The Fig 5 premise: full parse is linear in column count."""
+        small = serialize_metadata(self._meta(200))
+        large = serialize_metadata(self._meta(2000))
+
+        def time_parse(data, reps=5):
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                parse_metadata(data)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        ratio = time_parse(large) / time_parse(small)
+        assert ratio > 4  # ~10x columns should cost ~10x; allow jitter
+
+
+class TestParquetLikeFormat:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        table = Table(
+            {
+                "a": rng.integers(0, 100, 500).astype(np.int64),
+                "b": rng.normal(size=500),
+                "s": [f"v{i % 13}".encode() for i in range(500)],
+                "l": [
+                    rng.integers(0, 10, 3).astype(np.int64) for _ in range(500)
+                ],
+            }
+        )
+        dev = SimulatedStorage()
+        ParquetLikeWriter(dev, rows_per_group=200).write(table)
+        out = ParquetLikeReader(dev).project(["a", "b", "s", "l"])
+        assert out.equals(table)
+
+    def test_bad_magic_rejected(self):
+        dev = SimulatedStorage()
+        dev.append(b"not a parquet file at all")
+        with pytest.raises(ValueError, match="magic"):
+            ParquetLikeReader(dev)
+
+    def test_open_reads_whole_footer(self):
+        rng = np.random.default_rng(1)
+        table = Table(
+            {f"c{i}": rng.integers(0, 9, 10).astype(np.int64) for i in range(300)}
+        )
+        dev = SimulatedStorage()
+        meta = ParquetLikeWriter(dev).write(table)
+        footer_len = len(serialize_metadata(meta))
+        dev.stats.reset()
+        ParquetLikeReader(dev)
+        assert dev.stats.bytes_read >= footer_len

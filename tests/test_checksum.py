@@ -1,0 +1,76 @@
+"""Merkle-tree checksum tests (§2.1, Fig 2)."""
+
+import pytest
+
+from repro.core.checksum import MerkleTree, full_file_checksum
+from repro.util.hashing import hash_bytes
+
+
+def make_pages(n=12, size=100):
+    return [bytes([i % 256]) * size for i in range(n)]
+
+
+class TestBuild:
+    def test_structure(self):
+        pages = make_pages(12)
+        tree = MerkleTree.build(pages, [4, 4, 4])
+        assert len(tree.page_hashes) == 12
+        assert len(tree.group_hashes) == 3
+        assert tree.verify_structure()
+
+    def test_group_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="pages_per_group"):
+            MerkleTree.build(make_pages(5), [4, 4])
+
+    def test_group_of_page(self):
+        tree = MerkleTree.build(make_pages(10), [3, 3, 4])
+        assert tree.group_of_page(0) == 0
+        assert tree.group_of_page(2) == 0
+        assert tree.group_of_page(3) == 1
+        assert tree.group_of_page(9) == 2
+        with pytest.raises(IndexError):
+            tree.group_of_page(10)
+
+
+class TestIncrementalUpdate:
+    def test_update_changes_path_to_root(self):
+        pages = make_pages()
+        tree = MerkleTree.build(pages, [4, 4, 4])
+        old_root = tree.root
+        old_other_group = tree.group_hashes[2]
+        update = tree.update_page(5, b"rewritten!")
+        assert tree.root != old_root
+        assert tree.group_hashes[2] == old_other_group  # untouched sibling
+        assert update.group == 1
+        assert update.nodes_recomputed == 3
+        assert tree.verify_structure()
+
+    def test_update_matches_full_rebuild(self):
+        pages = make_pages()
+        tree = MerkleTree.build(pages, [4, 4, 4])
+        pages[7] = b"new page payload"
+        tree.update_page(7, pages[7])
+        rebuilt = MerkleTree.build(pages, [4, 4, 4])
+        assert tree.root == rebuilt.root
+        assert tree.group_hashes == rebuilt.group_hashes
+
+    def test_incremental_hashes_far_fewer_bytes(self):
+        """Fig 2's point: page-level update vs whole-file rehash."""
+        pages = make_pages(n=64, size=4096)
+        tree = MerkleTree.build(pages, [16] * 4)
+        update = tree.update_page(3, b"x" * 4096)
+        _checksum, full_bytes = full_file_checksum(pages)
+        assert update.payload_bytes_hashed < full_bytes / 50
+
+    def test_verify_page(self):
+        pages = make_pages()
+        tree = MerkleTree.build(pages, [6, 6])
+        assert tree.verify_page(2, pages[2])
+        assert not tree.verify_page(2, b"tampered")
+
+
+class TestTamperDetection:
+    def test_structure_check_catches_stale_parent(self):
+        tree = MerkleTree.build(make_pages(), [4, 4, 4])
+        tree.page_hashes[0] = hash_bytes(b"evil")  # leaf changed, parents not
+        assert not tree.verify_structure()

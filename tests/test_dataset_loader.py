@@ -1,0 +1,89 @@
+"""Tests for the batch-oriented training data loader."""
+
+import numpy as np
+import pytest
+
+from repro.core import BullionWriter, Table, WriterOptions, delete_rows
+from repro.core.dataset import LoaderOptions, TrainingDataLoader
+from repro.iosim import SimulatedStorage
+from repro.quantization import FloatFormat, QuantizationPolicy
+
+
+def _file(n=1000, quantization=None):
+    rng = np.random.default_rng(23)
+    table = Table(
+        {
+            "x": np.arange(n, dtype=np.int64),
+            "y": rng.normal(size=n).astype(np.float32),
+        }
+    )
+    dev = SimulatedStorage()
+    BullionWriter(
+        dev,
+        options=WriterOptions(
+            rows_per_page=100, rows_per_group=200, quantization=quantization
+        ),
+    ).write(table)
+    return dev, table
+
+
+class TestLoader:
+    def test_batches_cover_all_rows_in_order(self):
+        dev, table = _file()
+        loader = TrainingDataLoader(
+            dev, ["x"], LoaderOptions(batch_size=128)
+        )
+        seen = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert np.array_equal(seen, table.column("x"))
+
+    def test_batch_sizes(self):
+        dev, _t = _file(n=1000)
+        batches = list(
+            TrainingDataLoader(dev, ["x"], LoaderOptions(batch_size=300))
+        )
+        assert [b.num_rows for b in batches] == [300, 300, 300, 100]
+
+    def test_drop_last(self):
+        dev, _t = _file(n=1000)
+        batches = list(
+            TrainingDataLoader(
+                dev, ["x"], LoaderOptions(batch_size=300, drop_last=True)
+            )
+        )
+        assert [b.num_rows for b in batches] == [300, 300, 300]
+
+    def test_shuffle_permutes_groups_per_epoch(self):
+        dev, table = _file(n=1000)
+        loader = TrainingDataLoader(
+            dev, ["x"], LoaderOptions(batch_size=200, shuffle_row_groups=True)
+        )
+        epoch1 = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        epoch2 = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert sorted(epoch1) == list(range(1000))
+        assert sorted(epoch2) == list(range(1000))
+        assert not np.array_equal(epoch1, epoch2)  # reshuffled
+
+    def test_deleted_rows_excluded(self):
+        dev, _t = _file(n=1000)
+        delete_rows(dev, range(50, 150))
+        loader = TrainingDataLoader(dev, ["x"], LoaderOptions(batch_size=100))
+        seen = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert len(seen) == 900
+        assert not np.isin(np.arange(50, 150), seen).any()
+
+    def test_widen_quantized(self):
+        policy = QuantizationPolicy(default=FloatFormat.FP16)
+        dev, table = _file(quantization=policy)
+        loader = TrainingDataLoader(
+            dev, ["y"], LoaderOptions(batch_size=500, widen_quantized=True)
+        )
+        batch = next(iter(loader))
+        assert batch.column("y").dtype == np.float32
+        assert np.allclose(
+            batch.column("y"), table.column("y")[:500], atol=1e-3
+        )
+
+    def test_missing_column_rejected(self):
+        dev, _t = _file()
+        with pytest.raises(KeyError, match="not in file"):
+            TrainingDataLoader(dev, ["nope"])

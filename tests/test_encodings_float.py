@@ -1,0 +1,104 @@
+"""Behavioural tests for the float codecs (Gorilla, Chimp, ALP, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.encodings import (
+    ALP,
+    Chimp,
+    Gorilla,
+    Pseudodecimal,
+    decode_blob,
+    encode_blob,
+)
+
+
+def special_values():
+    return np.array(
+        [0.0, -0.0, np.inf, -np.inf, np.nan, 1e-308, 1e308, np.pi],
+        dtype=np.float64,
+    )
+
+
+@pytest.mark.parametrize(
+    "encoding", [Gorilla(), Chimp(), ALP(), Pseudodecimal()], ids=lambda e: e.name
+)
+def test_special_values_roundtrip(encoding):
+    data = special_values()
+    out = decode_blob(encode_blob(data, encoding))
+    # NaN compares unequal; compare bit patterns for exactness
+    assert np.array_equal(
+        out.view(np.uint64), data.view(np.uint64)
+    ) or (
+        np.array_equal(out[~np.isnan(data)], data[~np.isnan(data)])
+        and np.isnan(out[np.isnan(data)]).all()
+    )
+
+
+class TestGorilla:
+    def test_repeated_values_one_bit_each(self):
+        data = np.full(10000, 3.14159, dtype=np.float64)
+        blob = encode_blob(data, Gorilla())
+        # first value 64 bits, then ~1 bit per repeat
+        assert len(blob) < 10000 / 8 + 100
+
+    def test_slowly_varying_compresses(self):
+        t = np.arange(5000)
+        data = 20.0 + 0.25 * (t // 100)  # step-wise sensor-style series
+        blob = encode_blob(data, Gorilla())
+        assert len(blob) < data.nbytes / 2
+
+
+class TestChimp:
+    def test_beats_gorilla_on_noisy_decimals(self):
+        rng = np.random.default_rng(0)
+        data = np.round(rng.normal(20, 2, 5000), 1)
+        chimp = len(encode_blob(data, Chimp()))
+        raw = data.nbytes
+        assert chimp < raw  # compresses at all on realistic series
+
+
+class TestALP:
+    def test_decimal_data_compresses_hard(self):
+        rng = np.random.default_rng(1)
+        data = np.round(rng.uniform(0, 100, 8000), 2)  # prices
+        blob = encode_blob(data, ALP())
+        assert len(blob) < data.nbytes / 3
+        assert np.array_equal(decode_blob(blob), data)
+
+    def test_random_doubles_take_frontbits_path(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=4000)
+        blob = encode_blob(data, ALP())
+        assert blob[1 + 1 + 8] == 1  # mode byte after id+dtype+count: frontbits
+        assert np.array_equal(decode_blob(blob), data)
+
+    def test_decimal_path_mode_byte(self):
+        data = np.round(np.arange(1000) * 0.01, 2)
+        blob = encode_blob(data, ALP())
+        assert blob[1 + 1 + 8] == 0  # decimal mode
+
+    def test_mixed_exceptions_patched(self):
+        data = np.round(np.arange(1000) * 0.1, 1)
+        data[500] = np.pi  # one non-decimal exception
+        out = decode_blob(encode_blob(data, ALP()))
+        assert np.array_equal(out, data)
+
+
+class TestPseudodecimal:
+    def test_two_subcolumn_structure(self):
+        data = np.array([1.5, 2.25, 300.0], dtype=np.float64)
+        out = decode_blob(encode_blob(data, Pseudodecimal()))
+        assert np.array_equal(out, data)
+
+    def test_smallest_exponent_chosen(self):
+        # 0.5 should use e=1 (5 / 10^1), not larger exponents
+        data = np.array([0.5], dtype=np.float64)
+        out = decode_blob(encode_blob(data, Pseudodecimal()))
+        assert out[0] == 0.5
+
+    def test_float16_roundtrip(self):
+        data = np.array([1.5, 2.5, 0.25], dtype=np.float16)
+        out = decode_blob(encode_blob(data, Pseudodecimal()))
+        assert out.dtype == np.float16
+        assert np.array_equal(out, data)

@@ -1,0 +1,132 @@
+"""Tests for the flat binary footer (FooterView), §2.3."""
+
+import numpy as np
+import pytest
+
+from repro.core.footer import FooterError, FooterView, HEADER_TOTAL
+from repro.core.reader import BullionReader
+from repro.core.schema import Primitive
+from repro.core.table import Table
+from repro.core.writer import BullionWriter, WriterOptions
+from repro.iosim import SimulatedStorage
+
+
+@pytest.fixture
+def written():
+    rng = np.random.default_rng(0)
+    table = Table(
+        {
+            "ints": rng.integers(0, 100, 500).astype(np.int64),
+            "floats": rng.normal(size=500),
+            "names": [f"n{i}".encode() for i in range(500)],
+            "seq": [
+                rng.integers(0, 10, 3).astype(np.int64) for _ in range(500)
+            ],
+        }
+    )
+    dev = SimulatedStorage()
+    footer = BullionWriter(
+        dev, options=WriterOptions(rows_per_page=100, rows_per_group=200)
+    ).write(table)
+    return dev, footer, table
+
+
+class TestFooterView:
+    def test_header_fields(self, written):
+        _dev, footer, table = written
+        assert footer.num_rows == 500
+        assert footer.num_columns == 4
+        assert footer.num_row_groups == 3  # 200+200+100
+        assert footer.num_pages == 4 * (2 + 2 + 1)
+
+    def test_find_column_all_names(self, written):
+        _dev, footer, _t = written
+        for expected_idx, name in enumerate(["ints", "floats", "names", "seq"]):
+            assert footer.find_column(name) == expected_idx
+
+    def test_find_missing_column_raises(self, written):
+        _dev, footer, _t = written
+        with pytest.raises(KeyError):
+            footer.find_column("nope")
+
+    def test_column_type_descriptors(self, written):
+        _dev, footer, _t = written
+        assert footer.column_type(0).primitive == Primitive.INT64
+        assert footer.column_type(1).primitive == Primitive.FLOAT64
+        assert footer.column_type(3).list_depth == 1
+
+    def test_chunks_tile_the_data_region(self, written):
+        dev, footer, _t = written
+        total = 0
+        for c in range(footer.num_columns):
+            for g in range(footer.num_row_groups):
+                total += footer.chunk(c, g).size
+        # magic + chunks + footer + tail == file
+        footer_len = dev.size - footer.file_offset - 8
+        assert 4 + total + footer_len + 8 == dev.size
+
+    def test_row_groups_partition_rows(self, written):
+        _dev, footer, _t = written
+        rows = sum(
+            footer.row_group(g).n_rows for g in range(footer.num_row_groups)
+        )
+        assert rows == footer.num_rows
+
+    def test_pages_per_group_sums_to_total(self, written):
+        _dev, footer, _t = written
+        assert sum(footer.pages_per_group()) == footer.num_pages
+
+    def test_schema_parse_is_lazy_but_correct(self, written):
+        _dev, footer, _t = written
+        schema = footer.schema()
+        assert schema.field_names() == ["ints", "floats", "names", "seq"]
+        assert str(schema.fields[3].type) == "list<int64>"
+
+    def test_physical_columns(self, written):
+        _dev, footer, _t = written
+        cols = footer.physical_columns()
+        assert [c.name for c in cols] == ["ints", "floats", "names", "seq"]
+
+    def test_deletion_vector_initially_empty(self, written):
+        _dev, footer, _t = written
+        assert footer.deleted_count() == 0
+        assert not footer.deletion_bitmap().any()
+
+    def test_checksums_present(self, written):
+        _dev, footer, _t = written
+        assert footer.page_hash(0) != 0
+        assert footer.root_hash() != 0
+
+
+class TestFooterErrors:
+    def test_too_small(self):
+        with pytest.raises(FooterError, match="too small"):
+            FooterView(b"\x00" * 10)
+
+    def test_bad_magic(self):
+        with pytest.raises(FooterError, match="magic"):
+            FooterView(b"XXXX" + b"\x00" * (HEADER_TOTAL - 4))
+
+    def test_reader_rejects_bad_tail(self):
+        dev = SimulatedStorage()
+        dev.append(b"garbage garbage garbage")
+        with pytest.raises(Exception):
+            BullionReader(dev)
+
+
+class TestLookupScaling:
+    """The Fig 5 property: lookup probes grow ~log(n_cols), not linearly."""
+
+    def _footer_with_columns(self, n):
+        table = Table(
+            {f"f{i}": np.zeros(4, dtype=np.int64) for i in range(n)}
+        )
+        dev = SimulatedStorage()
+        return BullionWriter(
+            dev, options=WriterOptions(rows_per_page=4, rows_per_group=4)
+        ).write(table)
+
+    def test_lookup_correct_at_scale(self):
+        footer = self._footer_with_columns(2000)
+        for probe in (0, 1, 999, 1999):
+            assert footer.find_column(f"f{probe}") == probe

@@ -1,0 +1,143 @@
+"""Cross-module integration tests: the paper's workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BullionReader,
+    BullionWriter,
+    Table,
+    WriterOptions,
+    delete_rows,
+)
+from repro.encodings import SparseListDelta
+from repro.iosim import SimulatedStorage
+from repro.quantization import FloatFormat, QuantizationPolicy, quantize
+from repro.workloads import (
+    AdsDataConfig,
+    SlidingWindowConfig,
+    build_ads_schema,
+    generate_ads_table,
+    generate_click_sequences,
+)
+
+
+class TestAdsPipeline:
+    """Write a (sampled) ads table, project 10%, delete a user, verify."""
+
+    @pytest.fixture(scope="class")
+    def ads_file(self):
+        schema = build_ads_schema(scale=0.002)
+        table = generate_ads_table(schema, AdsDataConfig(rows=128))
+        dev = SimulatedStorage()
+        footer = BullionWriter(
+            dev,
+            schema=schema,
+            options=WriterOptions(rows_per_page=64, rows_per_group=128),
+        ).write(table)
+        return dev, schema, table, footer
+
+    def test_ten_percent_projection(self, ads_file):
+        dev, schema, table, _f = ads_file
+        reader = BullionReader(dev)
+        names = [c.name for c in schema.physical_columns()]
+        subset = names[:: max(1, len(names) // max(1, len(names) // 10))][
+            : max(1, len(names) // 10)
+        ]
+        out = reader.project(subset)
+        assert out.num_rows == 128
+        for name in subset:
+            assert name in out.columns
+
+    def test_gdpr_delete_then_read(self, ads_file):
+        dev, schema, table, _f = ads_file
+        delete_rows(dev, range(10, 20))  # one user's contiguous rows
+        reader = BullionReader(dev)
+        assert reader.verify()
+        names = [c.name for c in schema.physical_columns()][:5]
+        out = reader.project(names)
+        assert out.num_rows == 118
+
+
+class TestSparseFeatureFile:
+    def test_sparse_delta_in_file_with_deletion(self):
+        rows, _ = generate_click_sequences(
+            SlidingWindowConfig(n_users=8, events_per_user=32, window_size=64)
+        )
+        table = Table({"clk_seq_cids": rows})
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev,
+            options=WriterOptions(
+                rows_per_page=64,
+                rows_per_group=128,
+                encodings={"clk_seq_cids": SparseListDelta()},
+            ),
+        ).write(table)
+        report = delete_rows(dev, [5, 6, 7])
+        out = BullionReader(dev).project(["clk_seq_cids"])
+        assert out.num_rows == len(rows) - 3
+        expected = [r for i, r in enumerate(rows) if i not in (5, 6, 7)]
+        for a, b in zip(out.column("clk_seq_cids"), expected):
+            assert np.array_equal(np.asarray(a), b)
+
+
+class TestQuantizedStorage:
+    def test_quantized_columns_roundtrip_through_file(self):
+        rng = np.random.default_rng(0)
+        raw = {f"emb_{i}": rng.normal(size=256).astype(np.float32) for i in range(4)}
+        policy = QuantizationPolicy(
+            assignments={
+                "emb_0": FloatFormat.FP16,
+                "emb_1": FloatFormat.BF16,
+                "emb_2": FloatFormat.FP8_E4M3,
+            },
+            default=FloatFormat.FP32,
+        )
+        qt = policy.apply(raw)
+        table = Table(dict(qt.stored))
+        dev = SimulatedStorage()
+        BullionWriter(dev).write(table)
+        out = BullionReader(dev).project(list(raw))
+        # stored representations must round-trip bit-exactly
+        for name in raw:
+            got = np.asarray(out.column(name))
+            want = np.asarray(qt.stored[name])
+            if want.dtype in (np.uint16, np.uint8):
+                assert np.array_equal(got.astype(want.dtype), want)
+            else:
+                assert np.array_equal(got, want)
+
+    def test_quantized_file_is_smaller(self):
+        rng = np.random.default_rng(1)
+        raw = {f"f{i}": rng.normal(size=2000).astype(np.float32) for i in range(8)}
+        dev32, dev16 = SimulatedStorage(), SimulatedStorage()
+        BullionWriter(dev32).write(Table(dict(raw)))
+        q = {k: quantize(v, FloatFormat.FP16) for k, v in raw.items()}
+        BullionWriter(dev16).write(Table(q))
+        assert dev16.size < dev32.size * 0.6
+
+
+class TestCascadeFileIntegration:
+    def test_cascade_policy_shrinks_file(self):
+        rng = np.random.default_rng(2)
+        table = Table(
+            {
+                "ids": np.sort(rng.integers(0, 10**9, 4000)).astype(np.int64),
+                "cat": np.resize(
+                    np.repeat(rng.integers(0, 6, 80), rng.integers(5, 40, 80)),
+                    4000,
+                ).astype(np.int64),
+                "price": np.round(rng.uniform(0, 500, 4000), 2),
+            }
+        )
+        trivial_dev, cascade_dev = SimulatedStorage(), SimulatedStorage()
+        BullionWriter(
+            trivial_dev, options=WriterOptions(encoding_policy="trivial")
+        ).write(table)
+        BullionWriter(
+            cascade_dev, options=WriterOptions(encoding_policy="cascade")
+        ).write(table)
+        assert cascade_dev.size < trivial_dev.size / 2
+        out = BullionReader(cascade_dev).project(["ids", "cat", "price"])
+        assert out.equals(table)

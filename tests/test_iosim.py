@@ -1,0 +1,84 @@
+"""Tests for the simulated storage device and its I/O accounting."""
+
+import pytest
+
+from repro.iosim import IOStats, SeekModel, SimulatedStorage
+
+
+class TestReadWrite:
+    def test_pwrite_pread_roundtrip(self):
+        dev = SimulatedStorage()
+        dev.pwrite(0, b"hello world")
+        assert dev.pread(6, 5) == b"world"
+
+    def test_append_returns_offset(self):
+        dev = SimulatedStorage()
+        assert dev.append(b"abc") == 0
+        assert dev.append(b"def") == 3
+        assert dev.size == 6
+
+    def test_write_past_end_zero_fills(self):
+        dev = SimulatedStorage()
+        dev.pwrite(10, b"x")
+        assert dev.pread(0, 10) == b"\x00" * 10
+
+    def test_read_past_end_raises(self):
+        dev = SimulatedStorage()
+        dev.append(b"ab")
+        with pytest.raises(ValueError, match="beyond"):
+            dev.pread(0, 3)
+
+    def test_truncate(self):
+        dev = SimulatedStorage()
+        dev.append(b"abcdef")
+        dev.truncate(2)
+        assert dev.size == 2
+        dev.truncate(5)
+        assert dev.pread(2, 3) == b"\x00" * 3
+
+
+class TestAccounting:
+    def test_byte_and_op_counters(self):
+        dev = SimulatedStorage()
+        dev.append(b"x" * 100)
+        dev.pread(0, 40)
+        dev.pread(40, 60)
+        assert dev.stats.reads == 2
+        assert dev.stats.bytes_read == 100
+        assert dev.stats.writes == 1
+        assert dev.stats.bytes_written == 100
+
+    def test_sequential_reads_count_one_seek(self):
+        dev = SimulatedStorage()
+        dev.append(b"x" * 100)
+        dev.pread(0, 50)
+        dev.pread(50, 50)  # contiguous: no extra seek
+        assert dev.stats.read_seeks == 1
+
+    def test_random_reads_count_seeks(self):
+        dev = SimulatedStorage()
+        dev.append(b"x" * 100)
+        dev.pread(80, 10)
+        dev.pread(0, 10)
+        dev.pread(50, 10)
+        assert dev.stats.read_seeks == 3
+
+    def test_reset(self):
+        dev = SimulatedStorage()
+        dev.append(b"abc")
+        dev.stats.reset()
+        assert dev.stats.bytes_written == 0 and dev.stats.writes == 0
+
+    def test_modelled_time(self):
+        stats = IOStats(reads=10, bytes_read=2_000_000, read_seeks=10)
+        model = SeekModel(seek_latency_s=1e-3, bandwidth_bytes_per_s=1e9)
+        # 10 seeks * 1ms + 2MB / 1GB/s = 10ms + 2ms
+        assert abs(stats.modelled_time(model) - 0.012) < 1e-9
+
+    def test_corrupt_is_uncounted(self):
+        dev = SimulatedStorage()
+        dev.append(b"abcd")
+        writes = dev.stats.writes
+        dev.corrupt(0, b"ZZ")
+        assert dev.stats.writes == writes
+        assert dev.raw_bytes()[:2] == b"ZZ"

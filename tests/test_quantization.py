@@ -1,0 +1,227 @@
+"""Tests for storage quantization (§2.4, Fig 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantization import (
+    BIT_LAYOUT,
+    FloatFormat,
+    HashFold,
+    IdRemap,
+    QuantizationError,
+    QuantizationPolicy,
+    STORAGE_BYTES,
+    auto_assign,
+    dequantize,
+    downcast,
+    error_budget_assign,
+    hi_as_bf16_float,
+    join_bits,
+    join_numeric,
+    quantize,
+    smallest_signed_dtype,
+    split_bits,
+    split_numeric,
+)
+
+
+class TestBitLayouts:
+    def test_fig6_budgets(self):
+        """Exactly the sign/exponent/fraction table of Fig 6."""
+        assert BIT_LAYOUT[FloatFormat.FP64] == (1, 11, 52)
+        assert BIT_LAYOUT[FloatFormat.FP32] == (1, 8, 23)
+        assert BIT_LAYOUT[FloatFormat.TF32] == (1, 8, 10)
+        assert BIT_LAYOUT[FloatFormat.FP16] == (1, 5, 10)
+        assert BIT_LAYOUT[FloatFormat.BF16] == (1, 8, 7)
+        assert BIT_LAYOUT[FloatFormat.FP8_E5M2] == (1, 5, 2)
+        assert BIT_LAYOUT[FloatFormat.FP8_E4M3] == (1, 4, 3)
+
+    def test_layouts_sum_to_storage(self):
+        for fmt, (s, e, m) in BIT_LAYOUT.items():
+            if fmt == FloatFormat.TF32:
+                continue  # 19-bit format stored in 32
+            assert s + e + m == STORAGE_BYTES[fmt] * 8
+
+
+class TestFloatFormats:
+    def test_fp16_exact_for_representables(self):
+        data = np.array([1.5, -0.25, 1024.0], dtype=np.float32)
+        assert np.array_equal(
+            dequantize(quantize(data, FloatFormat.FP16), FloatFormat.FP16), data
+        )
+
+    def test_bf16_preserves_exponent_range(self):
+        data = np.array([1e38, 1e-38, -1e20], dtype=np.float32)
+        back = dequantize(quantize(data, FloatFormat.BF16), FloatFormat.BF16)
+        assert np.all(np.isfinite(back))
+        assert np.allclose(back, data, rtol=0.01)
+
+    def test_fp16_overflows_where_bf16_does_not(self):
+        data = np.array([1e20], dtype=np.float32)
+        fp16 = dequantize(quantize(data, FloatFormat.FP16), FloatFormat.FP16)
+        bf16 = dequantize(quantize(data, FloatFormat.BF16), FloatFormat.BF16)
+        assert np.isinf(fp16[0])  # out of fp16 range
+        assert np.isfinite(bf16[0])  # bf16 keeps fp32's exponent bits
+
+    def test_tf32_mantissa_truncation(self):
+        data = np.array([1.0 + 2**-11], dtype=np.float32)
+        tf32 = quantize(data, FloatFormat.TF32)
+        assert tf32[0] in (np.float32(1.0), np.float32(1.0 + 2**-10))
+
+    def test_fp8_e4m3_saturates_not_inf(self):
+        data = np.array([1e6, -1e6], dtype=np.float32)
+        back = dequantize(
+            quantize(data, FloatFormat.FP8_E4M3), FloatFormat.FP8_E4M3
+        )
+        assert back[0] == 448.0 and back[1] == -448.0  # OCP max magnitude
+
+    def test_fp8_e5m2_keeps_infinity(self):
+        data = np.array([np.inf, -np.inf], dtype=np.float32)
+        back = dequantize(
+            quantize(data, FloatFormat.FP8_E5M2), FloatFormat.FP8_E5M2
+        )
+        assert np.isinf(back[0]) and back[0] > 0
+        assert np.isinf(back[1]) and back[1] < 0
+
+    def test_nan_survives_every_format(self):
+        data = np.array([np.nan], dtype=np.float32)
+        for fmt in FloatFormat:
+            back = dequantize(quantize(data, fmt), fmt)
+            assert np.isnan(back[0]), fmt
+
+    def test_signs_preserved(self):
+        data = np.array([-1.0, 1.0, -0.5, 0.5], dtype=np.float32)
+        for fmt in (FloatFormat.FP8_E4M3, FloatFormat.FP8_E5M2,
+                    FloatFormat.BF16, FloatFormat.FP16):
+            back = dequantize(quantize(data, fmt), fmt)
+            assert np.all(np.sign(back) == np.sign(data)), fmt
+
+    def test_error_ordering_matches_precision(self):
+        """More mantissa bits -> lower error, embeddings in (-1,1)."""
+        rng = np.random.default_rng(0)
+        emb = np.tanh(rng.normal(size=5000)).astype(np.float32)
+        errs = {
+            fmt: QuantizationError.measure(emb, fmt).mean_relative_error
+            for fmt in (
+                FloatFormat.FP16,
+                FloatFormat.BF16,
+                FloatFormat.FP8_E4M3,
+            )
+        }
+        assert errs[FloatFormat.FP16] < errs[FloatFormat.BF16]
+        assert errs[FloatFormat.BF16] < errs[FloatFormat.FP8_E4M3]
+
+    @given(st.lists(st.floats(-400, 400, allow_nan=False), min_size=1,
+                    max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fp8_idempotent(self, values):
+        """Quantizing an already-quantized column is a fixed point."""
+        data = np.array(values, dtype=np.float32)
+        once = dequantize(quantize(data, FloatFormat.FP8_E4M3),
+                          FloatFormat.FP8_E4M3)
+        twice = dequantize(quantize(once, FloatFormat.FP8_E4M3),
+                           FloatFormat.FP8_E4M3)
+        assert np.array_equal(once, twice)
+
+
+class TestIntegerQuantization:
+    def test_smallest_dtype(self):
+        assert smallest_signed_dtype(0, 100) == np.int8
+        assert smallest_signed_dtype(-200, 100) == np.int16
+        assert smallest_signed_dtype(0, 2**20) == np.int32
+        assert smallest_signed_dtype(0, 2**40) == np.int64
+
+    def test_downcast_lossless(self):
+        data = np.array([-3, 120, 7], dtype=np.int64)
+        out = downcast(data)
+        assert out.dtype == np.int8
+        assert np.array_equal(out.astype(np.int64), data)
+
+    def test_downcast_rejects_floats(self):
+        with pytest.raises(TypeError):
+            downcast(np.array([1.5]))
+
+    def test_idremap_lossless_and_narrow(self):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 10**15, 5000).astype(np.int64)
+        remap = IdRemap.build(ids)
+        assert np.array_equal(remap.restore(), ids)
+        assert remap.code_bytes <= 2  # ≤ 5000 distinct -> int16
+        assert remap.storage_savings() <= 0.25
+
+    def test_hashfold_collision_rate_drops_with_bits(self):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 10**12, 20000)
+        low = HashFold.build(ids, bits=10).collision_rate
+        high = HashFold.build(ids, bits=28).collision_rate
+        assert high < low
+        assert low > 0.1  # 20k ids into 1k buckets must collide
+
+
+class TestDualColumn:
+    def test_bit_split_exact(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=1000).astype(np.float32)
+        hi, lo = split_bits(data)
+        assert hi.dtype == np.uint16 and lo.dtype == np.uint16
+        assert np.array_equal(join_bits(hi, lo), data)
+
+    def test_hi_half_is_bf16_view(self):
+        data = np.array([1.5, -2.25], dtype=np.float32)
+        hi, _lo = split_bits(data)
+        approx = hi_as_bf16_float(hi)
+        assert np.allclose(approx, data, rtol=0.01)
+
+    def test_numeric_split_improves_on_fp16(self):
+        rng = np.random.default_rng(4)
+        data = (rng.normal(size=2000) * 100).astype(np.float32)
+        hi, lo = split_numeric(data)
+        joined = join_numeric(hi, lo)
+        fp16_only = hi.astype(np.float32)
+        err_joined = np.abs(joined - data).mean()
+        err_fp16 = np.abs(fp16_only - data).mean()
+        assert err_joined < err_fp16 / 10
+
+
+class TestPolicies:
+    def test_policy_apply_and_savings(self):
+        rng = np.random.default_rng(5)
+        cols = {f"f{i}": rng.normal(size=100).astype(np.float32) for i in range(4)}
+        policy = QuantizationPolicy(
+            assignments={
+                "f0": FloatFormat.FP32,
+                "f1": FloatFormat.FP16,
+                "f2": FloatFormat.FP8_E4M3,
+            },
+            default=FloatFormat.BF16,
+        )
+        qt = policy.apply(cols)
+        # 4 + 2 + 1 + 2 = 9 bytes/row vs 16 fp32
+        assert qt.stored_bytes() == 100 * 9
+        assert abs(qt.savings() - (1 - 9 / 16)) < 1e-9
+        assert qt.read("f1").dtype == np.float32
+
+    def test_auto_assign_tiers(self):
+        sens = {f"f{i}": float(i) for i in range(100)}
+        policy = auto_assign(sens)
+        assert policy.format_for("f99") == FloatFormat.FP32
+        assert policy.format_for("f70") == FloatFormat.FP16
+        assert policy.format_for("f5") == FloatFormat.FP8_E4M3
+
+    def test_error_budget_assign(self):
+        rng = np.random.default_rng(6)
+        cols = {
+            "easy": np.round(rng.normal(size=500), 1).astype(np.float32),
+            "hard": (rng.normal(size=500) * 1e-6).astype(np.float32),
+        }
+        policy = error_budget_assign(cols, max_relative_error=1e-3)
+        # fp8 (and bf16) cannot hit 1e-3 mean relative error; fp16 can
+        assert policy.format_for("easy") == FloatFormat.FP16
+        # tiny magnitudes fall into fp16 subnormals: only fp32 fits
+        assert policy.format_for("hard") == FloatFormat.FP32
+        q = policy.apply(cols)
+        for name, values in cols.items():
+            err = QuantizationError.measure(values, policy.format_for(name))
+            assert err.mean_relative_error <= 1e-3

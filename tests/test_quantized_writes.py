@@ -1,0 +1,107 @@
+"""Tests for write-time storage quantization (§2.4 writer integration)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BullionReader, BullionWriter, Table, WriterOptions
+from repro.core.schema import Primitive
+from repro.iosim import SimulatedStorage
+from repro.quantization import FloatFormat, QuantizationPolicy
+
+
+@pytest.fixture
+def embeddings():
+    rng = np.random.default_rng(17)
+    return {
+        f"emb_{i}": np.tanh(rng.normal(size=500)).astype(np.float32)
+        for i in range(4)
+    }
+
+
+def _write(columns, policy):
+    dev = SimulatedStorage()
+    BullionWriter(
+        dev, options=WriterOptions(quantization=policy)
+    ).write(Table(dict(columns)))
+    return dev
+
+
+class TestQuantizedWrites:
+    def test_physical_types_recorded(self, embeddings):
+        policy = QuantizationPolicy(
+            assignments={
+                "emb_0": FloatFormat.FP16,
+                "emb_1": FloatFormat.BF16,
+                "emb_2": FloatFormat.FP8_E4M3,
+            },
+            default=FloatFormat.FP32,
+        )
+        dev = _write(embeddings, policy)
+        footer = BullionReader(dev).footer
+        expect = {
+            "emb_0": Primitive.FLOAT16,
+            "emb_1": Primitive.BFLOAT16,
+            "emb_2": Primitive.FLOAT8_E4M3,
+            "emb_3": Primitive.FLOAT32,
+        }
+        for name, prim in expect.items():
+            assert footer.column_type(footer.find_column(name)).primitive == prim
+
+    def test_file_shrinks(self, embeddings):
+        dev32 = _write(embeddings, QuantizationPolicy())
+        dev16 = _write(
+            embeddings, QuantizationPolicy(default=FloatFormat.FP16)
+        )
+        dev8 = _write(
+            embeddings, QuantizationPolicy(default=FloatFormat.FP8_E4M3)
+        )
+        assert dev16.size < dev32.size * 0.65
+        assert dev8.size < dev16.size * 0.8
+
+    def test_widen_on_read(self, embeddings):
+        policy = QuantizationPolicy(default=FloatFormat.FP16)
+        dev = _write(embeddings, policy)
+        out = BullionReader(dev).project(
+            list(embeddings), widen_quantized=True
+        )
+        for name, original in embeddings.items():
+            widened = out.column(name)
+            assert widened.dtype == np.float32
+            assert np.allclose(widened, original, atol=1e-3)
+
+    def test_stored_representation_default(self, embeddings):
+        policy = QuantizationPolicy(default=FloatFormat.BF16)
+        dev = _write(embeddings, policy)
+        out = BullionReader(dev).project(list(embeddings))
+        assert out.column("emb_0").dtype == np.uint16  # raw bf16 payload
+
+    def test_fp8_error_bounded(self, embeddings):
+        policy = QuantizationPolicy(default=FloatFormat.FP8_E4M3)
+        dev = _write(embeddings, policy)
+        out = BullionReader(dev).project(["emb_0"], widen_quantized=True)
+        err = np.abs(out.column("emb_0") - embeddings["emb_0"]).max()
+        assert err < 0.07  # e4m3 spacing near 1.0
+
+    def test_non_float_columns_untouched(self):
+        rng = np.random.default_rng(1)
+        table = {
+            "ids": rng.integers(0, 100, 200).astype(np.int64),
+            "emb": rng.normal(size=200).astype(np.float32),
+        }
+        dev = _write(table, QuantizationPolicy(default=FloatFormat.FP8_E4M3))
+        out = BullionReader(dev).project(["ids"])
+        assert np.array_equal(out.column("ids"), table["ids"])
+
+    def test_mixed_policy_end_to_end(self, embeddings):
+        policy = QuantizationPolicy(
+            assignments={"emb_0": FloatFormat.FP32},
+            default=FloatFormat.FP8_E4M3,
+        )
+        dev = _write(embeddings, policy)
+        out = BullionReader(dev).project(
+            list(embeddings), widen_quantized=True
+        )
+        # critical feature is bit-exact; others are within fp8 error
+        assert np.array_equal(out.column("emb_0"), embeddings["emb_0"])
+        assert not np.array_equal(out.column("emb_1"), embeddings["emb_1"])
+        assert np.allclose(out.column("emb_1"), embeddings["emb_1"], atol=0.07)

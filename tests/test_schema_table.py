@@ -1,0 +1,151 @@
+"""Tests for the type system (schema) and the in-memory Table."""
+
+import numpy as np
+import pytest
+
+from repro.core.schema import (
+    Field,
+    LogicalType,
+    PhysicalType,
+    Primitive,
+    Schema,
+)
+from repro.core.table import (
+    Table,
+    infer_physical_type,
+    physical_schema_for_table,
+    validate_against_schema,
+)
+
+
+class TestLogicalType:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "int64",
+            "float",
+            "double",
+            "string",
+            "binary",
+            "list<int64>",
+            "list<float>",
+            "list<list<int64>>",
+            "struct<list<int64>, list<float>>",
+            "struct<list<binary>, list<binary>>",
+            "struct<list<list<int64>>>",
+        ],
+    )
+    def test_parse_str_roundtrip(self, text):
+        assert str(LogicalType.parse(text)) == text
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalType.parse("decimal(38,10)")
+
+    def test_exactly_one_variant_enforced(self):
+        with pytest.raises(ValueError):
+            LogicalType()
+
+    def test_flatten_primitive(self):
+        cols = LogicalType.of(Primitive.INT64).flatten("x")
+        assert cols == [("x", PhysicalType(Primitive.INT64, 0))]
+
+    def test_flatten_list(self):
+        cols = LogicalType.parse("list<int64>").flatten("x")
+        assert cols == [("x", PhysicalType(Primitive.INT64, 1))]
+
+    def test_flatten_nested_list(self):
+        cols = LogicalType.parse("list<list<int64>>").flatten("x")
+        assert cols == [("x", PhysicalType(Primitive.INT64, 2))]
+
+    def test_flatten_struct_feature_flattening(self):
+        """Structs flatten to one stream per field (Meta-Alpha style)."""
+        cols = LogicalType.parse(
+            "struct<list<int64>, list<float>>"
+        ).flatten("feat")
+        assert [name for name, _t in cols] == ["feat.f0", "feat.f1"]
+        assert cols[0][1] == PhysicalType(Primitive.INT64, 1)
+        assert cols[1][1] == PhysicalType(Primitive.FLOAT32, 1)
+
+    def test_deep_nesting_rejected(self):
+        with pytest.raises(ValueError, match="deeper"):
+            LogicalType.parse("list<list<list<int64>>>").flatten("x")
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(
+                [
+                    Field("a", LogicalType.of(Primitive.INT64)),
+                    Field("a", LogicalType.of(Primitive.INT64)),
+                ]
+            )
+
+    def test_census(self):
+        schema = Schema(
+            [
+                Field("a", LogicalType.parse("list<int64>")),
+                Field("b", LogicalType.parse("list<int64>")),
+                Field("c", LogicalType.parse("string")),
+            ]
+        )
+        assert schema.census() == {"list<int64>": 2, "string": 1}
+
+    def test_physical_columns_expand_structs(self):
+        schema = Schema(
+            [Field("s", LogicalType.parse("struct<list<int64>, list<float>>"))]
+        )
+        assert [c.name for c in schema.physical_columns()] == ["s.f0", "s.f1"]
+        assert all(c.source_field == "s" for c in schema.physical_columns())
+
+
+class TestTable:
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_select_slice(self):
+        t = Table({"a": np.arange(10), "b": [b"x"] * 10})
+        assert t.select(["a"]).num_columns == 1
+        assert t.slice(2, 5).num_rows == 3
+
+    def test_take_mask_mixed_columns(self):
+        t = Table({"a": np.arange(4), "b": [b"w", b"x", b"y", b"z"]})
+        keep = np.array([True, False, True, False])
+        out = t.take_mask(keep)
+        assert list(out.column("a")) == [0, 2]
+        assert out.column("b") == [b"w", b"y"]
+
+    def test_equals_deep_for_list_columns(self):
+        rows = [np.array([1, 2], dtype=np.int64)]
+        assert Table({"l": rows}).equals(Table({"l": [np.array([1, 2])]}))
+        assert not Table({"l": rows}).equals(Table({"l": [np.array([1, 3])]}))
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "values,expected",
+        [
+            (np.zeros(3, dtype=np.int64), PhysicalType(Primitive.INT64, 0)),
+            (np.zeros(3, dtype=np.int32), PhysicalType(Primitive.INT32, 0)),
+            (np.zeros(3, dtype=np.float32), PhysicalType(Primitive.FLOAT32, 0)),
+            (np.zeros(3, dtype=np.float64), PhysicalType(Primitive.FLOAT64, 0)),
+            (np.zeros(3, dtype=np.bool_), PhysicalType(Primitive.BOOL, 0)),
+            ([b"x"], PhysicalType(Primitive.BINARY, 0)),
+            ([np.zeros(2, dtype=np.int64)], PhysicalType(Primitive.INT64, 1)),
+            ([[b"x"]], PhysicalType(Primitive.BINARY, 1)),
+        ],
+    )
+    def test_infer_physical_type(self, values, expected):
+        assert infer_physical_type(values) == expected
+
+    def test_physical_schema_for_table(self):
+        t = Table({"a": np.zeros(2, dtype=np.int64)})
+        cols = physical_schema_for_table(t)
+        assert cols[0].name == "a"
+
+    def test_validate_against_schema_mismatch(self):
+        schema = Schema([Field("a", LogicalType.of(Primitive.INT64))])
+        with pytest.raises(ValueError, match="mismatch"):
+            validate_against_schema(Table({"b": np.zeros(2)}), schema)

@@ -1,0 +1,37 @@
+"""Tests for repro.util.hashing: stable hashes for footer + Merkle."""
+
+from repro.util.hashing import combine_hashes, hash64, hash_bytes
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64("clk_seq_cids") == hash64("clk_seq_cids")
+
+    def test_known_fnv_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis
+        assert hash64(b"") == 0xCBF29CE484222325
+
+    def test_distinct_names_distinct_hashes(self):
+        names = [f"feature_{i}" for i in range(10000)]
+        assert len({hash64(n) for n in names}) == len(names)
+
+    def test_str_and_bytes_agree(self):
+        assert hash64("abc") == hash64(b"abc")
+
+
+class TestHashBytes:
+    def test_deterministic_and_sensitive(self):
+        assert hash_bytes(b"page") == hash_bytes(b"page")
+        assert hash_bytes(b"page") != hash_bytes(b"pagf")
+
+    def test_fits_in_u64(self):
+        assert 0 <= hash_bytes(b"x" * 1000) < 2**64
+
+
+class TestCombineHashes:
+    def test_order_sensitive(self):
+        a, b = hash_bytes(b"a"), hash_bytes(b"b")
+        assert combine_hashes([a, b]) != combine_hashes([b, a])
+
+    def test_empty_list_ok(self):
+        assert isinstance(combine_hashes([]), int)

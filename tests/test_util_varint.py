@@ -1,0 +1,103 @@
+"""Tests for repro.util.varint: LEB128 and zigzag."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.varint import (
+    decode_varint,
+    decode_varint_array,
+    encode_varint,
+    encode_varint_array,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestScalarVarint:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),  # the classic LEB128 worked example
+            (2**64 - 1, b"\xff" * 9 + b"\x01"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_varint(value) == expected
+        decoded, used = decode_varint(expected)
+        assert decoded == value
+        assert used == len(expected)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(b"\x80")
+
+    def test_oversized_raises(self):
+        with pytest.raises(ValueError, match="64 bits"):
+            decode_varint(b"\xff" * 10 + b"\x01")
+
+    def test_decode_at_offset(self):
+        data = b"\xff" + encode_varint(300)
+        value, used = decode_varint(data, offset=1)
+        assert value == 300
+        assert used == len(data)
+
+
+class TestArrayVarint:
+    def test_roundtrip_mixed_sizes(self):
+        values = np.array(
+            [0, 1, 127, 128, 16384, 2**32, 2**63, 2**64 - 1], dtype=np.uint64
+        )
+        data = encode_varint_array(values)
+        # batch encoding must match scalar encoding byte-for-byte
+        assert data == b"".join(encode_varint(int(v)) for v in values)
+        out, used = decode_varint_array(data, len(values))
+        assert used == len(data)
+        assert np.array_equal(out, values)
+
+    def test_empty(self):
+        assert encode_varint_array(np.zeros(0, dtype=np.uint64)) == b""
+        out, used = decode_varint_array(b"", 0)
+        assert used == 0 and len(out) == 0
+
+    def test_trailing_bytes_ignored(self):
+        data = encode_varint_array(np.array([5, 6], dtype=np.uint64))
+        out, used = decode_varint_array(data + b"\xde\xad", 2)
+        assert used == len(data)
+        assert list(out) == [5, 6]
+
+    def test_truncated_stream_raises(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint_array(b"\x01", 2)
+
+    @given(st.lists(st.integers(0, 2**64 - 1), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        out, _ = decode_varint_array(encode_varint_array(arr), len(arr))
+        assert np.array_equal(out, arr)
+
+
+class TestZigZag:
+    @pytest.mark.parametrize(
+        "signed,unsigned",
+        [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2**62, 2**63)],
+    )
+    def test_known_mappings(self, signed, unsigned):
+        assert int(zigzag_encode(np.array([signed]))[0]) == unsigned
+        assert int(zigzag_decode(np.array([unsigned], dtype=np.uint64))[0]) == signed
+
+    @given(st.lists(st.integers(-(2**63), 2**63 - 1), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, values):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(zigzag_decode(zigzag_encode(arr)), arr)

@@ -1,0 +1,147 @@
+"""Tests for the workload generators (Table 1, Fig 1, Fig 3, events)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    AdsDataConfig,
+    EmbeddingConfig,
+    EventLogConfig,
+    EventType,
+    MultimodalConfig,
+    SlidingWindowConfig,
+    TABLE1_BREAKDOWN,
+    TABLE1_TOTAL_COLUMNS,
+    build_ads_schema,
+    census_of,
+    embedding_table,
+    estimate_table_size_pb,
+    generate_ads_table,
+    generate_click_sequences,
+    generate_embeddings,
+    generate_event_log,
+    generate_samples,
+    impression_centric_table,
+    overlap_profile,
+    storage_comparison,
+    top10_table_sizes_pb,
+    user_centric_table,
+)
+
+
+class TestAdsSchema:
+    def test_census_matches_table1_exactly(self):
+        schema = build_ads_schema()
+        assert census_of(schema) == TABLE1_BREAKDOWN
+        assert len(schema.fields) == TABLE1_TOTAL_COLUMNS == 17733
+
+    def test_list_int64_dominates(self):
+        assert TABLE1_BREAKDOWN["list<int64>"] == 16256
+        assert TABLE1_BREAKDOWN["list<int64>"] / TABLE1_TOTAL_COLUMNS > 0.9
+
+    def test_scaled_schema_keeps_type_mix(self):
+        small = build_ads_schema(scale=0.01)
+        census = census_of(small)
+        assert set(census) == set(TABLE1_BREAKDOWN)  # every type present
+        assert census["list<int64>"] == round(16256 * 0.01)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            build_ads_schema(scale=0)
+
+    def test_generated_table_covers_physical_columns(self):
+        schema = build_ads_schema(scale=0.001)
+        table = generate_ads_table(schema, AdsDataConfig(rows=32))
+        expected = {c.name for c in schema.physical_columns()}
+        assert set(table.columns) == expected
+        assert table.num_rows == 32
+
+
+class TestFig1Sizes:
+    def test_descending_and_calibrated(self):
+        sizes = top10_table_sizes_pb()
+        assert len(sizes) == 10
+        assert sizes == sorted(sizes, reverse=True)
+        assert 90 <= sizes[0] <= 100  # "approach 100PB"
+        assert 15 <= sizes[-1] <= 30
+
+    def test_size_model_reaches_100pb_regime(self):
+        # ~4e10 impression rows of the full ads schema ~ 100 PB
+        pb = estimate_table_size_pb(rows=4e10)
+        assert 30 <= pb <= 300
+
+
+class TestSlidingWindows:
+    def test_rows_sorted_by_user_then_time(self):
+        rows, uids = generate_click_sequences(
+            SlidingWindowConfig(n_users=5, events_per_user=4)
+        )
+        assert len(rows) == 20
+        assert list(uids) == sorted(uids)
+
+    def test_high_overlap_profile(self):
+        rows, _ = generate_click_sequences(
+            SlidingWindowConfig(n_users=10, events_per_user=20, window_size=64)
+        )
+        profile = overlap_profile(rows)
+        assert profile["mean_overlap_fraction"] > 0.6
+        assert profile["identical_fraction"] > 0.02
+
+    def test_window_size_respected(self):
+        rows, _ = generate_click_sequences(
+            SlidingWindowConfig(n_users=2, events_per_user=5, window_size=32)
+        )
+        assert all(len(r) == 32 for r in rows)
+
+    def test_deterministic_by_seed(self):
+        cfg = SlidingWindowConfig(n_users=2, events_per_user=3, seed=9)
+        a, _ = generate_click_sequences(cfg)
+        b, _ = generate_click_sequences(cfg)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestEvents:
+    def test_impression_table_binary_labels(self):
+        log = generate_event_log(EventLogConfig(n_users=50, seed=1))
+        imp = impression_centric_table(log)
+        assert set(np.unique(imp.column("label"))) <= {0, 1}
+        # impressions+conversions only
+        n_imp = int(
+            np.isin(
+                log.event_type,
+                [int(EventType.AD_IMPRESSION), int(EventType.AD_CONVERSION)],
+            ).sum()
+        )
+        assert imp.num_rows == n_imp
+
+    def test_user_table_one_row_per_user(self):
+        log = generate_event_log(EventLogConfig(n_users=50, seed=1))
+        usr = user_centric_table(log)
+        assert usr.num_rows == len(np.unique(log.uid))
+        # sequences are time-sorted within a user
+        times = usr.column("event_times")[0]
+        assert np.all(np.diff(times) >= 0)
+
+    def test_storage_comparison_shape(self):
+        log = generate_event_log(EventLogConfig(n_users=80, seed=2))
+        cmp = storage_comparison(log)
+        assert cmp["user_rows"] < cmp["impression_rows"]
+        assert cmp["rows_ratio"] > 1
+
+
+class TestEmbeddingsAndMultimodal:
+    def test_embeddings_normalized(self):
+        mat = generate_embeddings(EmbeddingConfig(n_vectors=100, dim=16))
+        assert mat.shape == (100, 16)
+        assert mat.dtype == np.float32
+        assert np.abs(mat).max() <= 1.0
+
+    def test_embedding_table_columns(self):
+        cols = embedding_table(EmbeddingConfig(n_vectors=10, dim=4))
+        assert set(cols) == {"dim_0", "dim_1", "dim_2", "dim_3"}
+
+    def test_multimodal_samples_quality_long_tail(self):
+        samples = generate_samples(MultimodalConfig(n_samples=1000, seed=0))
+        scores = np.array([s.quality for s in samples])
+        assert (scores > 0.7).mean() < 0.2  # thin high-quality head
+        assert all(len(s.highlight_frames) == len(s.frame_index) for s in samples[:20])

@@ -1,0 +1,253 @@
+"""End-to-end tests for BullionWriter/BullionReader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BullionReader,
+    BullionWriter,
+    Field,
+    LogicalType,
+    Schema,
+    Table,
+    WriterOptions,
+)
+from repro.core.schema import Primitive
+from repro.encodings import Dictionary, RLE, SparseListDelta
+from repro.iosim import SimulatedStorage
+
+
+def roundtrip(table: Table, **opts) -> Table:
+    dev = SimulatedStorage()
+    BullionWriter(dev, options=WriterOptions(**opts)).write(table)
+    reader = BullionReader(dev)
+    return reader.project(list(table.columns))
+
+
+class TestRoundTrips:
+    def test_all_primitive_kinds(self):
+        rng = np.random.default_rng(0)
+        n = 300
+        table = Table(
+            {
+                "i64": rng.integers(-(10**9), 10**9, n).astype(np.int64),
+                "i32": rng.integers(-100, 100, n).astype(np.int32),
+                "f64": rng.normal(size=n),
+                "f32": rng.normal(size=n).astype(np.float32),
+                "f16": rng.normal(size=n).astype(np.float16),
+                "b": rng.random(n) < 0.3,
+                "s": [f"row{i}".encode() for i in range(n)],
+            }
+        )
+        out = roundtrip(table, rows_per_page=64, rows_per_group=128)
+        assert out.equals(table)
+        assert out.column("i32").dtype == np.int32
+        assert out.column("f32").dtype == np.float32
+        assert out.column("f16").dtype == np.float16
+
+    def test_list_columns(self):
+        rng = np.random.default_rng(1)
+        table = Table(
+            {
+                "li": [
+                    rng.integers(0, 100, int(rng.integers(0, 6))).astype(np.int64)
+                    for _ in range(100)
+                ],
+                "lf": [
+                    rng.normal(size=3).astype(np.float32) for _ in range(100)
+                ],
+                "lb": [[b"a", b"bb"][: i % 3] for i in range(100)],
+            }
+        )
+        out = roundtrip(table, rows_per_page=32, rows_per_group=64)
+        assert out.equals(table)
+
+    def test_nested_list_column(self):
+        table = Table(
+            {
+                "ll": [
+                    [np.array([1, 2], dtype=np.int64)],
+                    [],
+                    [
+                        np.array([3], dtype=np.int64),
+                        np.array([4, 5], dtype=np.int64),
+                    ],
+                ]
+                * 10
+            }
+        )
+        out = roundtrip(table, rows_per_page=10, rows_per_group=10)
+        got = out.column("ll")
+        assert len(got) == 30
+        assert np.array_equal(np.asarray(got[2][1]), [4, 5])
+
+    def test_empty_table(self):
+        table = Table({"a": np.zeros(0, dtype=np.int64)})
+        out = roundtrip(table)
+        assert out.num_rows == 0
+
+    def test_single_row(self):
+        table = Table({"a": np.array([7], dtype=np.int64), "s": [b"x"]})
+        assert roundtrip(table).equals(table)
+
+    def test_uneven_final_page_and_group(self):
+        table = Table({"a": np.arange(1037, dtype=np.int64)})
+        out = roundtrip(table, rows_per_page=100, rows_per_group=400)
+        assert np.array_equal(out.column("a"), np.arange(1037))
+
+    @given(
+        st.lists(st.integers(-(2**50), 2**50), min_size=1, max_size=300),
+        st.sampled_from([16, 64, 128]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_int_roundtrip(self, values, page_rows):
+        table = Table({"v": np.array(values, dtype=np.int64)})
+        out = roundtrip(
+            table, rows_per_page=page_rows, rows_per_group=page_rows * 2
+        )
+        assert np.array_equal(out.column("v"), values)
+
+
+class TestEncodingSelection:
+    def test_per_column_overrides(self):
+        rng = np.random.default_rng(2)
+        table = Table(
+            {
+                "runs": np.resize(
+                    np.repeat(rng.integers(0, 5, 20), rng.integers(1, 40, 20)),
+                    500,
+                ).astype(np.int64),
+                "tags": [f"t{i % 5}".encode() for i in range(500)],
+            }
+        )
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev,
+            options=WriterOptions(
+                rows_per_page=250,
+                rows_per_group=500,
+                encodings={"runs": RLE(), "tags": Dictionary()},
+            ),
+        ).write(table)
+        assert BullionReader(dev).project(["runs", "tags"]).equals(table)
+
+    def test_cascade_policy(self):
+        rng = np.random.default_rng(3)
+        table = Table(
+            {
+                "sorted": np.sort(rng.integers(0, 10**6, 600)).astype(np.int64),
+                "dec": np.round(rng.normal(size=600), 2),
+            }
+        )
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev,
+            options=WriterOptions(
+                rows_per_page=300, rows_per_group=600, encoding_policy="cascade"
+            ),
+        ).write(table)
+        assert BullionReader(dev).project(["sorted", "dec"]).equals(table)
+
+    def test_sparse_delta_for_click_sequences(self):
+        from repro.workloads.sparse import (
+            SlidingWindowConfig,
+            generate_click_sequences,
+        )
+
+        rows, _ = generate_click_sequences(
+            SlidingWindowConfig(n_users=10, events_per_user=20, window_size=64)
+        )
+        table = Table({"clk_seq_cids": rows})
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev,
+            options=WriterOptions(
+                rows_per_page=100,
+                rows_per_group=200,
+                encodings={"clk_seq_cids": SparseListDelta()},
+            ),
+        ).write(table)
+        assert BullionReader(dev).project(["clk_seq_cids"]).equals(table)
+
+
+class TestProjection:
+    @pytest.fixture
+    def wide_file(self):
+        rng = np.random.default_rng(4)
+        table = Table(
+            {f"f{i}": rng.integers(0, 100, 200).astype(np.int64) for i in range(50)}
+        )
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev, options=WriterOptions(rows_per_page=100, rows_per_group=200)
+        ).write(table)
+        return dev, table
+
+    def test_projection_reads_only_selected_columns(self, wide_file):
+        dev, table = wide_file
+        dev.stats.reset()
+        reader = BullionReader(dev)
+        after_open = dev.stats.bytes_read
+        reader.project(["f3"])
+        data_bytes = dev.stats.bytes_read - after_open
+        # a single column's data is ~1/50th of the file
+        assert data_bytes < dev.size / 25
+
+    def test_projection_values_match(self, wide_file):
+        dev, table = wide_file
+        out = BullionReader(dev).project(["f7", "f42"])
+        assert np.array_equal(out.column("f7"), table.column("f7"))
+        assert np.array_equal(out.column("f42"), table.column("f42"))
+
+    def test_row_group_subset(self):
+        table = Table({"a": np.arange(400, dtype=np.int64)})
+        dev = SimulatedStorage()
+        BullionWriter(
+            dev, options=WriterOptions(rows_per_page=100, rows_per_group=100)
+        ).write(table)
+        out = BullionReader(dev).project(["a"], row_groups=[1, 3])
+        assert list(out.column("a")) == list(range(100, 200)) + list(
+            range(300, 400)
+        )
+
+    def test_schema_roundtrip_through_file(self):
+        schema = Schema(
+            [
+                Field("x", LogicalType.parse("list<int64>")),
+                Field("y", LogicalType.parse("struct<list<int64>, list<float>>")),
+            ]
+        )
+        rng = np.random.default_rng(5)
+        table = Table(
+            {
+                "x": [rng.integers(0, 9, 2).astype(np.int64) for _ in range(20)],
+                "y.f0": [rng.integers(0, 9, 2).astype(np.int64) for _ in range(20)],
+                "y.f1": [rng.normal(size=2).astype(np.float32) for _ in range(20)],
+            }
+        )
+        dev = SimulatedStorage()
+        BullionWriter(dev, schema=schema).write(table)
+        reader = BullionReader(dev)
+        assert reader.schema().census() == schema.census()
+        assert reader.footer.column_type(2).primitive == Primitive.FLOAT32
+
+
+class TestOptionsValidation:
+    def test_group_must_be_page_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            WriterOptions(rows_per_page=100, rows_per_group=150)
+
+    def test_bad_compliance_level(self):
+        with pytest.raises(ValueError, match="level"):
+            WriterOptions(compliance_level=3)
+
+    def test_verify_detects_corruption(self):
+        table = Table({"a": np.arange(500, dtype=np.int64)})
+        dev = SimulatedStorage()
+        footer = BullionWriter(dev).write(table)
+        assert BullionReader(dev).verify()
+        page = footer.page(0)
+        dev.corrupt(page.offset + 20, b"\xde\xad\xbe\xef")
+        assert not BullionReader(dev).verify()
