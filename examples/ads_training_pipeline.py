@@ -60,12 +60,13 @@ def main() -> None:
         f"({100 * storage.stats.bytes_read / storage.size:.1f}% of the file)"
     )
 
-    # mini-batch iteration feeding a (mock) trainer
-    batch_size = 128
-    for start in range(0, batch.num_rows, batch_size):
-        mini = batch.slice(start, start + batch_size)
+    # mini-batch iteration feeding a (mock) trainer: the scan path
+    # streams fixed-size batches while prefetching chunks in parallel
+    n_batches = 0
+    for mini in reader.scan(projection, batch_size=128, max_workers=4):
         _features = [np.asarray(v, dtype=object) for v in mini.columns.values()]
-    print(f"iterated {batch.num_rows // batch_size + 1} mini-batches")
+        n_batches += 1
+    print(f"iterated {n_batches} mini-batches via reader.scan()")
 
 
 if __name__ == "__main__":

@@ -25,7 +25,8 @@ Subpackages
 ``repro.multimodal``    dual-table multimodal layout (§2.5, Fig 7)
 ``repro.baseline``      Parquet-like comparator format (Fig 5)
 ``repro.workloads``     synthetic stand-ins for the production data
-``repro.iosim``         byte-accurate simulated storage with I/O stats
+``repro.iosim``         pluggable storage backends (simulated, real
+                        file, latency-modelled) with I/O stats
 """
 
 from repro.core import (
@@ -33,16 +34,19 @@ from repro.core import (
     BullionWriter,
     Field,
     LogicalType,
+    Predicate,
+    Scan,
     Schema,
+    ShardedDataset,
     Table,
     WriterOptions,
     delete_rows,
     rewrite_without_rows,
     write_table,
 )
-from repro.iosim import SimulatedStorage
+from repro.iosim import FileStorage, LatencyModelledStorage, SimulatedStorage
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BullionReader",
@@ -55,6 +59,11 @@ __all__ = [
     "Schema",
     "Field",
     "LogicalType",
+    "Scan",
+    "Predicate",
+    "ShardedDataset",
     "SimulatedStorage",
+    "FileStorage",
+    "LatencyModelledStorage",
     "__version__",
 ]

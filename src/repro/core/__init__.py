@@ -7,7 +7,7 @@ contribution (§2.1, §2.3) plus its substrate.
 
 from repro.core.checksum import MerkleTree, full_file_checksum
 from repro.core.compact import CompactionReport, compact, merge
-from repro.core.dataset import LoaderOptions, TrainingDataLoader
+from repro.core.dataset import LoaderOptions, ShardedDataset, TrainingDataLoader
 from repro.core.deletion import (
     DeletionReport,
     MaskError,
@@ -15,8 +15,14 @@ from repro.core.deletion import (
     mask_page_payload,
     rewrite_without_rows,
 )
-from repro.core.footer import FooterView
-from repro.core.reader import BullionFormatError, BullionReader
+from repro.core.footer import FooterBuilder, FooterView
+from repro.core.reader import (
+    BullionFormatError,
+    BullionReader,
+    ChunkCache,
+    Predicate,
+    Scan,
+)
 from repro.core.schema import (
     BINARY,
     BOOL,
@@ -39,6 +45,7 @@ from repro.core.writer import (
     LEVEL_PLAIN,
     BullionWriter,
     WriterOptions,
+    WriterStats,
     write_table,
 )
 
@@ -50,14 +57,19 @@ __all__ = [
     "merge",
     "TrainingDataLoader",
     "LoaderOptions",
+    "ShardedDataset",
     "DeletionReport",
     "MaskError",
     "delete_rows",
     "mask_page_payload",
     "rewrite_without_rows",
+    "FooterBuilder",
     "FooterView",
     "BullionFormatError",
     "BullionReader",
+    "Scan",
+    "Predicate",
+    "ChunkCache",
     "Field",
     "LogicalType",
     "PhysicalColumn",
@@ -67,6 +79,7 @@ __all__ = [
     "Table",
     "BullionWriter",
     "WriterOptions",
+    "WriterStats",
     "write_table",
     "LEVEL_PLAIN",
     "LEVEL_DELETION_VECTOR",

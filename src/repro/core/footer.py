@@ -49,7 +49,7 @@ from repro.core.schema import (
     Schema,
 )
 from repro.util.bitio import ByteWriter
-from repro.util.hashing import hash64
+from repro.util.hashing import combine_hashes, hash64
 
 MAGIC = b"BULN"
 FOOTER_MAGIC = b"BFTR"
@@ -272,6 +272,94 @@ class FooterData:
 
 class FooterError(ValueError):
     """Raised on malformed or corrupt footers."""
+
+
+class FooterBuilder:
+    """Incremental footer assembly for the streaming writer.
+
+    The one-shot writer used to accumulate every ``PageMeta`` and page
+    payload before building the Merkle tree and ``FooterData`` in one
+    go. The builder instead ingests metadata group by group: page
+    *hashes* (never payloads) accumulate as Merkle leaves, each group's
+    node hash is folded as the group closes, and :meth:`finish` derives
+    the root and emits ``FooterData`` — so a writer's live state is
+    O(metadata), not O(data).
+    """
+
+    def __init__(self, compliance_level: int) -> None:
+        self.compliance_level = compliance_level
+        self.pages: list[PageMeta] = []
+        self.page_hashes: list[int] = []
+        self.group_hashes: list[int] = []
+        self.row_groups: list[RowGroupMeta] = []
+        self.chunks: dict[tuple[int, int], ChunkMeta] = {}
+        self.chunk_stats: dict[tuple[int, int], ChunkStats] = {}
+        self.num_rows = 0
+        self._group_first_page: int | None = None
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.row_groups)
+
+    @property
+    def next_page_index(self) -> int:
+        return len(self.pages)
+
+    def begin_row_group(self) -> int:
+        """Open the next row group; returns its starting row."""
+        if self._group_first_page is not None:
+            raise FooterError("previous row group not closed")
+        self._group_first_page = len(self.pages)
+        return self.num_rows
+
+    def add_page(self, meta: PageMeta, payload_hash: int) -> None:
+        if self._group_first_page is None:
+            raise FooterError("add_page outside a row group")
+        self.pages.append(meta)
+        self.page_hashes.append(payload_hash)
+
+    def add_chunk(
+        self,
+        col_idx: int,
+        meta: ChunkMeta,
+        stats: ChunkStats | None = None,
+    ) -> None:
+        if self._group_first_page is None:
+            raise FooterError("add_chunk outside a row group")
+        g = len(self.row_groups)
+        self.chunks[(col_idx, g)] = meta
+        if stats is not None:
+            self.chunk_stats[(col_idx, g)] = stats
+
+    def end_row_group(self, n_rows: int) -> None:
+        first = self._group_first_page
+        if first is None:
+            raise FooterError("no row group open")
+        self.row_groups.append(RowGroupMeta(self.num_rows, n_rows, first))
+        self.group_hashes.append(combine_hashes(self.page_hashes[first:]))
+        self.num_rows += n_rows
+        self._group_first_page = None
+
+    def finish(
+        self,
+        columns: list[PhysicalColumn],
+        logical_fields: list[Field],
+    ) -> FooterData:
+        if self._group_first_page is not None:
+            raise FooterError("row group still open at finish")
+        return FooterData(
+            num_rows=self.num_rows,
+            compliance_level=self.compliance_level,
+            columns=columns,
+            logical_fields=logical_fields,
+            chunks=self.chunks,
+            pages=self.pages,
+            row_groups=self.row_groups,
+            page_hashes=self.page_hashes,
+            group_hashes=self.group_hashes,
+            root_hash=combine_hashes(self.group_hashes),
+            chunk_stats=self.chunk_stats,
+        )
 
 
 class FooterView:

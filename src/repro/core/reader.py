@@ -1,24 +1,39 @@
-"""BullionReader: projection-oriented reads over a Bullion file.
+"""BullionReader: scan-oriented reads over a Bullion file.
 
 The access path follows §2.3 exactly: one ``pread`` for the footer tail,
 one for the footer, then a binary map scan per requested column and a
 single coalesced ``pread`` per (column, row group) chunk. Metadata cost
 is independent of how many *other* columns the file holds — the Fig 5
 property.
+
+Reads are built around :class:`Scan` — a lazy batch iterator that fuses
+
+* row-group pruning (footer min/max statistics via a :class:`Predicate`),
+* column projection,
+* deletion-vector filtering,
+* §2.4 quantization widening,
+
+and fetches chunks concurrently through a ``ThreadPoolExecutor`` with a
+small per-reader LRU chunk cache. ``project()`` is the eager one-shot
+wrapper over a serial scan.
 """
 
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.footer import MAGIC, FooterView
 from repro.core.page import PAGE_HEADER_SIZE, PageHeader
 from repro.core.schema import Primitive, Schema, STORAGE_DTYPES
-from repro.core.table import Table
+from repro.core.table import Table, concat_tables
 from repro.encodings import decode_blob
-from repro.iosim import SimulatedStorage
+from repro.iosim import Storage
 from repro.util.hashing import hash_bytes
 
 _TAIL_SIZE = 4 + len(MAGIC)
@@ -28,11 +43,225 @@ class BullionFormatError(ValueError):
     """Malformed file, bad magic, or checksum mismatch."""
 
 
-class BullionReader:
-    """Read-side API: open, project, verify."""
+@dataclass(frozen=True)
+class Predicate:
+    """Range predicate over one numeric column, for row-group pruning.
 
-    def __init__(self, storage: SimulatedStorage) -> None:
+    Pruning is conservative and group-granular: kept groups may still
+    contain rows outside the range (exactly the semantics of
+    ``prune_row_groups``), but groups whose footer min/max statistics
+    cannot satisfy the range are skipped with zero data I/O.
+    """
+
+    column: str
+    min_value: float | None = None
+    max_value: float | None = None
+
+
+class ChunkCache:
+    """Tiny thread-safe LRU over raw (column, row-group) chunk bytes."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple[int, int]) -> bytes | None:
+        with self._lock:
+            raw = self._entries.get(key)
+            if raw is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return raw
+
+    def put(self, key: tuple[int, int], raw: bytes) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = raw
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Scan:
+    """Lazy, optionally parallel batch iterator over a Bullion file.
+
+    Created via :meth:`BullionReader.scan`. Iterating yields
+    :class:`Table` batches; ``to_table()`` materializes the whole
+    result. With ``max_workers > 1``, the chunks of up to
+    ``prefetch_groups`` row groups ahead of the consumer are fetched
+    concurrently by a thread pool (positional reads are independent),
+    while decode and assembly stay on the consuming thread.
+    """
+
+    def __init__(
+        self,
+        reader: "BullionReader",
+        columns: list[str],
+        *,
+        predicate: Predicate | None = None,
+        row_groups: list[int] | None = None,
+        batch_size: int | None = None,
+        drop_deleted: bool = True,
+        widen_quantized: bool = False,
+        max_workers: int = 4,
+        prefetch_groups: int = 2,
+    ) -> None:
+        self._reader = reader
+        footer = reader.footer
+        #: (name, col_idx, ptype) resolved up front so bad names fail fast
+        self._cols = []
+        for name in columns:
+            col_idx = footer.find_column(name)
+            self._cols.append((name, col_idx, footer.column_type(col_idx)))
+        groups = (
+            list(range(footer.num_row_groups))
+            if row_groups is None
+            else list(row_groups)
+        )
+        if predicate is not None:
+            kept = set(
+                reader.prune_row_groups(
+                    predicate.column, predicate.min_value, predicate.max_value
+                )
+            )
+            groups = [g for g in groups if g in kept]
+        self._groups = groups
+        self._batch_size = batch_size
+        self._widen = widen_quantized
+        self._max_workers = max_workers
+        self._prefetch_groups = max(1, prefetch_groups)
+        self._deleted = None
+        if drop_deleted and footer.deleted_count():
+            self._deleted = footer.deletion_bitmap()
+
+    @property
+    def row_groups(self) -> list[int]:
+        """The row groups this scan will touch, post-pruning."""
+        return list(self._groups)
+
+    # -- iteration ------------------------------------------------------
+    def __iter__(self):
+        if self._batch_size is None:
+            yield from self._group_tables()
+            return
+        size = self._batch_size
+        if size <= 0:
+            raise ValueError("batch_size must be positive")
+        carry: Table | None = None
+        for group_table in self._group_tables():
+            if carry is not None:
+                group_table = concat_tables([carry, group_table])
+                carry = None
+            pos = 0
+            while pos + size <= group_table.num_rows:
+                yield group_table.slice(pos, pos + size)
+                pos += size
+            if pos < group_table.num_rows:
+                carry = group_table.slice(pos, group_table.num_rows)
+        if carry is not None and carry.num_rows:
+            yield carry
+
+    def to_table(self) -> Table:
+        """Materialize the scan into one table."""
+        if not self._cols:
+            return Table({})
+        tables = list(self._group_tables())
+        if not tables:
+            # every group pruned away: empty, but correctly typed
+            return Table(
+                {
+                    name: _cast_to_storage(_concat([], ptype), ptype)
+                    for name, _idx, ptype in self._cols
+                }
+            )
+        return concat_tables(tables)
+
+    # -- internals ------------------------------------------------------
+    def _group_tables(self):
+        groups = self._groups
+        n_fetches = len(groups) * len(self._cols)
+        if self._max_workers > 1 and n_fetches > 1:
+            yield from self._group_tables_parallel()
+            return
+        for g in groups:
+            raws = [
+                self._reader._fetch_chunk(col_idx, g)
+                for _name, col_idx, _pt in self._cols
+            ]
+            yield self._assemble(g, raws)
+
+    def _group_tables_parallel(self):
+        groups = self._groups
+        reader = self._reader
+        window = self._prefetch_groups
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            futures: dict[tuple[int, int], object] = {}
+            submitted = 0
+
+            def submit_through(limit: int) -> None:
+                nonlocal submitted
+                while submitted < min(limit, len(groups)):
+                    g = groups[submitted]
+                    # keyed by projection position, not col_idx: the
+                    # same column may legitimately appear twice
+                    for pos, (_name, col_idx, _pt) in enumerate(self._cols):
+                        futures[(submitted, pos)] = pool.submit(
+                            reader._fetch_chunk, col_idx, g
+                        )
+                    submitted += 1
+
+            submit_through(1 + window)
+            for i, g in enumerate(groups):
+                raws = [
+                    futures.pop((i, pos)).result()
+                    for pos in range(len(self._cols))
+                ]
+                submit_through(i + 2 + window)
+                yield self._assemble(g, raws)
+
+    def _assemble(self, g: int, raws: list[bytes]) -> Table:
+        reader = self._reader
+        out: dict[str, object] = {}
+        for (name, col_idx, ptype), raw in zip(self._cols, raws):
+            parts = reader._decode_chunk(raw, col_idx, g)
+            values = _concat([parts], ptype)
+            values = _cast_to_storage(values, ptype)
+            if self._widen:
+                values = _widen_quantized(values, ptype)
+            out[name] = values
+        table = Table(out)
+        if self._deleted is not None and table.num_columns:
+            rg = reader.footer.row_group(g)
+            keep = ~self._deleted[rg.row_start : rg.row_start + rg.n_rows]
+            table = table.take_mask(keep)
+        return table
+
+
+class BullionReader:
+    """Read-side API: open, scan, project, verify."""
+
+    def __init__(
+        self, storage: Storage, chunk_cache_size: int = 32
+    ) -> None:
         self._storage = storage
+        if storage.size < _TAIL_SIZE:
+            raise BullionFormatError(
+                f"not a Bullion file: {storage.size} bytes is smaller "
+                f"than the {_TAIL_SIZE}-byte tail"
+            )
         tail = storage.pread(storage.size - _TAIL_SIZE, _TAIL_SIZE)
         (footer_len,) = struct.unpack_from("<I", tail, 0)
         if tail[4:] != MAGIC:
@@ -40,6 +269,10 @@ class BullionReader:
         footer_offset = storage.size - _TAIL_SIZE - footer_len
         footer_bytes = storage.pread(footer_offset, footer_len)
         self.footer = FooterView(footer_bytes, file_offset=footer_offset)
+        #: raw chunk LRU shared by every scan from this reader; assumes
+        #: the file is immutable for the reader's lifetime — reopen (or
+        #: ``invalidate_cache()``) after in-place deletions
+        self.chunk_cache = ChunkCache(chunk_cache_size)
 
     # -- metadata -------------------------------------------------------
     @property
@@ -56,7 +289,40 @@ class BullionReader:
     def column_names(self) -> list[str]:
         return [c.name for c in self.footer.physical_columns()]
 
+    def invalidate_cache(self) -> None:
+        self.chunk_cache.clear()
+
     # -- data -----------------------------------------------------------
+    def scan(
+        self,
+        columns: list[str],
+        *,
+        predicate: Predicate | None = None,
+        row_groups: list[int] | None = None,
+        batch_size: int | None = None,
+        drop_deleted: bool = True,
+        widen_quantized: bool = False,
+        max_workers: int = 4,
+        prefetch_groups: int = 2,
+    ) -> Scan:
+        """Lazy batch iterator over a feature projection.
+
+        ``batch_size=None`` yields one batch per row group; otherwise
+        batches of exactly ``batch_size`` rows (last one may be short).
+        ``max_workers <= 1`` forces serial chunk fetches.
+        """
+        return Scan(
+            self,
+            columns,
+            predicate=predicate,
+            row_groups=row_groups,
+            batch_size=batch_size,
+            drop_deleted=drop_deleted,
+            widen_quantized=widen_quantized,
+            max_workers=max_workers,
+            prefetch_groups=prefetch_groups,
+        )
+
     def project(
         self,
         columns: list[str],
@@ -64,7 +330,10 @@ class BullionReader:
         row_groups: list[int] | None = None,
         widen_quantized: bool = False,
     ) -> Table:
-        """Read the named physical columns (the ML feature projection).
+        """Eagerly read the named columns (the ML feature projection).
+
+        A thin wrapper over a serial :meth:`scan` so accounting-based
+        experiments see deterministic I/O ordering.
 
         ``widen_quantized=True`` dequantizes §2.4 storage-quantized
         columns (FP16/BF16/FP8) back to float32 on the way out; the
@@ -72,39 +341,13 @@ class BullionReader:
         native low-precision support consume directly ("usable directly
         in training and serving").
         """
-        footer = self.footer
-        groups = (
-            list(range(footer.num_row_groups))
-            if row_groups is None
-            else row_groups
-        )
-        deleted = None
-        if drop_deleted and footer.deleted_count():
-            deleted = footer.deletion_bitmap()
-        out: dict[str, object] = {}
-        for name in columns:
-            col_idx = footer.find_column(name)
-            ptype = footer.column_type(col_idx)
-            parts = []
-            for g in groups:
-                parts.append(self._read_chunk(col_idx, g))
-            values = _concat(parts, ptype)
-            values = _cast_to_storage(values, ptype)
-            if widen_quantized:
-                values = _widen_quantized(values, ptype)
-            out[name] = values
-        table = Table(out)
-        if deleted is not None and table.num_columns:
-            keep_parts = [
-                deleted[
-                    footer.row_group(g).row_start : footer.row_group(g).row_start
-                    + footer.row_group(g).n_rows
-                ]
-                for g in groups
-            ]
-            keep = ~np.concatenate(keep_parts)
-            table = table.take_mask(keep)
-        return table
+        return self.scan(
+            columns,
+            row_groups=row_groups,
+            drop_deleted=drop_deleted,
+            widen_quantized=widen_quantized,
+            max_workers=0,
+        ).to_table()
 
     def read_column(self, name: str, drop_deleted: bool = True):
         return self.project([name], drop_deleted=drop_deleted).column(name)
@@ -137,11 +380,21 @@ class BullionReader:
             kept.append(g)
         return kept
 
-    def _read_chunk(self, col_idx: int, rg: int):
+    def _fetch_chunk(self, col_idx: int, rg: int) -> bytes:
         """One coalesced pread for a (column, row-group) extent."""
+        key = (col_idx, rg)
+        raw = self.chunk_cache.get(key)
+        if raw is not None:
+            return raw
+        chunk = self.footer.chunk(col_idx, rg)
+        raw = self._storage.pread(chunk.offset, chunk.size)
+        self.chunk_cache.put(key, raw)
+        return raw
+
+    def _decode_chunk(self, raw: bytes, col_idx: int, rg: int):
+        """Split a chunk's raw bytes into decoded per-page value runs."""
         footer = self.footer
         chunk = footer.chunk(col_idx, rg)
-        raw = self._storage.pread(chunk.offset, chunk.size)
         values_parts = []
         pos = 0
         rg_meta = footer.row_group(rg)
@@ -159,6 +412,9 @@ class BullionReader:
             pos += PAGE_HEADER_SIZE + header.alloc_len
             page_row += meta.n_values
         return values_parts
+
+    def _read_chunk(self, col_idx: int, rg: int):
+        return self._decode_chunk(self._fetch_chunk(col_idx, rg), col_idx, rg)
 
     def _re_expand(self, stored, pid: int, page_row: int, original: int):
         """Re-align a compacted page using the deletion vector.
@@ -213,7 +469,15 @@ class BullionReader:
 def _concat(parts: list[list], ptype) -> object:
     flat = [v for part in parts for v in part]
     if not flat:
-        return np.zeros(0, dtype=np.int64)
+        # empty projection: the container/dtype must still match the
+        # column's physical type (an empty float or string column
+        # round-trips as such, not as int64 zeros)
+        if ptype.list_depth > 0 or ptype.primitive in (
+            Primitive.STRING,
+            Primitive.BINARY,
+        ):
+            return []
+        return np.zeros(0, dtype=STORAGE_DTYPES[ptype.primitive])
     if isinstance(flat[0], np.ndarray) and ptype.list_depth == 0:
         return np.concatenate(flat)
     out: list = []

@@ -88,6 +88,23 @@ class Table:
         return True
 
 
+def concat_tables(tables: list["Table"]) -> "Table":
+    """Row-wise concatenation of same-schema tables."""
+    if not tables:
+        return Table({})
+    out: dict[str, object] = {}
+    for name in tables[0].columns:
+        parts = [t.columns[name] for t in tables]
+        if isinstance(parts[0], np.ndarray):
+            out[name] = np.concatenate(parts)
+        else:
+            merged: list = []
+            for p in parts:
+                merged.extend(p)
+            out[name] = merged
+    return Table(out)
+
+
 def infer_physical_type(values) -> PhysicalType:
     """Best-effort physical type for schema-less writes."""
     if isinstance(values, np.ndarray):

@@ -1,4 +1,4 @@
-"""BullionWriter: serialize a table into the Bullion file layout.
+"""BullionWriter: serialize tables into the Bullion file layout.
 
 File layout::
 
@@ -12,6 +12,16 @@ Column-contiguous layout inside a row group means a projection reads
 each requested column's chunk with one coalesced ``pread`` (the paper's
 §2.3 access path, and the same rationale as Meta Alpha's "coalesced
 reads").
+
+The writer is *incremental*: ``open()`` stamps the magic,
+``write_batch(table)`` buffers rows and flushes one fully-encoded row
+group at a time, and ``finish()`` assembles the footer from the
+:class:`~repro.core.footer.FooterBuilder`'s accumulated metadata. At
+no point does more than one row group's raw rows — and at most one
+encoded page payload — live in writer memory; :class:`WriterStats`
+instruments exactly that. ``write()``/``write_table()`` are thin
+one-shot wrappers and produce byte-identical files to any sequence of
+``write_batch`` calls carrying the same rows.
 """
 
 from __future__ import annotations
@@ -21,15 +31,13 @@ from dataclasses import dataclass, field as dc_field
 
 import numpy as np
 
-from repro.core.checksum import MerkleTree
 from repro.core.footer import (
     MAGIC,
     ChunkMeta,
     ChunkStats,
-    FooterData,
+    FooterBuilder,
     FooterView,
     PageMeta,
-    RowGroupMeta,
 )
 from repro.core.page import frame_page
 from repro.core.schema import (
@@ -37,6 +45,7 @@ from repro.core.schema import (
     PhysicalColumn,
     PhysicalType,
     Primitive,
+    STORAGE_DTYPES,
     Schema,
 )
 from repro.core.table import (
@@ -52,7 +61,8 @@ from repro.encodings import (
     encode_blob,
 )
 from repro.encodings.bitpack import FixedBitWidth
-from repro.iosim import SimulatedStorage
+from repro.iosim import Storage
+from repro.util.hashing import hash_bytes
 
 #: compliance levels of §2.1
 LEVEL_PLAIN = 0  # standard format, no upgraded deletion support
@@ -88,6 +98,26 @@ class WriterOptions:
             raise ValueError("rows_per_group must be a multiple of rows_per_page")
         if self.compliance_level not in (0, 1, 2):
             raise ValueError("compliance level must be 0, 1 or 2")
+
+
+@dataclass
+class WriterStats:
+    """Streaming-writer instrumentation (the bounded-memory evidence).
+
+    ``peak_encoded_pages_held`` / ``peak_encoded_payload_bytes`` track
+    the most encoded-page state alive at once — the streaming writer
+    encodes, hashes and flushes each page before touching the next, so
+    the peak stays at one page (< one row group) regardless of file
+    size. ``peak_buffered_rows`` bounds the raw-row staging buffer.
+    """
+
+    groups_flushed: int = 0
+    pages_written: int = 0
+    peak_buffered_rows: int = 0
+    encoded_pages_held: int = 0
+    encoded_payload_bytes_held: int = 0
+    peak_encoded_pages_held: int = 0
+    peak_encoded_payload_bytes: int = 0
 
 
 _INT_PRIMS = {
@@ -128,17 +158,275 @@ def _to_encodable(values, column: PhysicalColumn):
 
 
 class BullionWriter:
-    """One-shot writer: ``BullionWriter(storage).write(table)``."""
+    """Incremental writer: ``open() -> write_batch(table)* -> finish()``.
+
+    ``write(table)`` remains the one-shot convenience path.
+    """
 
     def __init__(
         self,
-        storage: SimulatedStorage,
+        storage: Storage,
         schema: Schema | None = None,
         options: WriterOptions | None = None,
     ) -> None:
         self._storage = storage
         self._schema = schema
         self._options = options or WriterOptions()
+        self.stats = WriterStats()
+        self._state = "new"  # new -> open -> finished
+        self._builder: FooterBuilder | None = None
+        self._columns: list[PhysicalColumn] | None = None
+        self._source_columns: list[PhysicalColumn] | None = None
+        self._logical_fields: list[Field] | None = None
+        #: staged raw fragments per physical column name (quantization
+        #: and encoding happen at flush time)
+        self._buffer: dict[str, list] = {}
+        self._buffered_rows = 0
+        self._column_order: list[str] | None = None
+        #: per-column value kind from the first batch (np dtype or None
+        #: for list-kind columns) — later batches must match exactly
+        self._batch_kinds: dict[str, object] = {}
+
+    # -- incremental API -----------------------------------------------
+    def open(self) -> "BullionWriter":
+        """Stamp the file magic and ready the footer builder."""
+        if self._state != "new":
+            raise RuntimeError(f"open() on a writer in state {self._state!r}")
+        self._state = "open"
+        self._builder = FooterBuilder(self._options.compliance_level)
+        self._storage.append(MAGIC)
+        return self
+
+    def write_batch(self, table: Table) -> None:
+        """Stage a batch of rows; flush every completed row group.
+
+        Batches need not align to row-group boundaries — rows are cut
+        into exact ``rows_per_group`` groups internally, so the file
+        bytes depend only on the concatenated row stream, never on how
+        it was batched.
+        """
+        if self._state == "new":
+            self.open()
+        if self._state != "open":
+            raise RuntimeError("write_batch() after finish()")
+        self._ingest_batch(table)
+        while self._buffered_rows >= self._options.rows_per_group:
+            self._resolve_columns_once()
+            self._flush_group(self._take_rows(self._options.rows_per_group))
+
+    def finish(self) -> FooterView:
+        """Flush the trailing partial group and write the footer."""
+        if self._state == "new":
+            self.open()
+        if self._state != "open":
+            raise RuntimeError("finish() called twice")
+        builder = self._builder
+        assert builder is not None
+        self._resolve_columns_once()
+        if self._buffered_rows > 0 or builder.num_groups == 0:
+            self._flush_group(self._take_rows(self._buffered_rows))
+        assert self._columns is not None and self._logical_fields is not None
+        footer_data = builder.finish(self._columns, self._logical_fields)
+        footer_bytes = footer_data.serialize()
+        footer_offset = self._storage.append(footer_bytes)
+        self._storage.append(struct.pack("<I", len(footer_bytes)) + MAGIC)
+        self._state = "finished"
+        return FooterView(footer_bytes, file_offset=footer_offset)
+
+    # -- one-shot wrapper ----------------------------------------------
+    def write(self, table: Table) -> FooterView:
+        self.open()
+        self.write_batch(table)
+        return self.finish()
+
+    # -- batch staging / column resolution ------------------------------
+    def _ingest_batch(self, table: Table) -> None:
+        if self._schema is not None:
+            validate_against_schema(table, self._schema)
+        if self._column_order is None:
+            self._column_order = list(table.columns)
+            self._buffer = {name: [] for name in self._column_order}
+            self._batch_kinds = {
+                name: _value_kind(v) for name, v in table.columns.items()
+            }
+        elif set(table.columns) != set(self._column_order):
+            raise ValueError(
+                f"batch columns {sorted(table.columns)} do not match "
+                f"first batch {sorted(self._column_order)}"
+            )
+        else:
+            # dtype drift between batches would otherwise be silently
+            # coerced into the first batch's storage type
+            for name in self._column_order:
+                kind = _value_kind(table.columns[name])
+                if kind != self._batch_kinds[name]:
+                    raise ValueError(
+                        f"column {name!r}: batch value kind {kind} does "
+                        f"not match first batch {self._batch_kinds[name]}"
+                    )
+        for name in self._column_order:
+            self._buffer[name].append(table.columns[name])
+        self._buffered_rows += table.num_rows
+        self.stats.peak_buffered_rows = max(
+            self.stats.peak_buffered_rows, self._buffered_rows
+        )
+
+    def _resolve_columns_once(self) -> None:
+        """Lock in the physical column set just before the first flush.
+
+        Deferring resolution to the first flush lets schema-less type
+        inference probe every fragment staged so far — a first batch
+        whose list column happens to be empty no longer mis-infers the
+        column as binary.
+        """
+        if self._columns is not None:
+            return
+        if self._schema is not None:
+            columns = self._schema.physical_columns()
+            logical_fields = list(self._schema.fields)
+        elif self._column_order is not None:
+            columns = [
+                PhysicalColumn(
+                    name, _infer_from_fragments(self._buffer[name]), name
+                )
+                for name in self._column_order
+            ]
+            logical_fields = [Field(c.name, _logical_for(c)) for c in columns]
+        else:
+            columns, logical_fields = [], []
+        self._source_columns = columns
+        if self._options.quantization is not None:
+            columns = [
+                _quantized_column(c, self._options.quantization)
+                for c in columns
+            ]
+        self._columns = columns
+        self._logical_fields = logical_fields
+        self._buffer = {c.name: self._buffer.get(c.name, []) for c in columns}
+
+    def _quantize_group(self, values: dict[str, object]) -> dict[str, object]:
+        """Narrow float columns per the §2.4 policy (no-op without one).
+
+        Decided against the *source* column types: a natively-f16
+        column is stored as-is, while an f32/f64 feature the policy
+        maps to a narrower format is converted element-wise (so the
+        result is independent of how rows were batched).
+        """
+        policy = self._options.quantization
+        if policy is None:
+            return values
+        from repro.quantization import quantize
+
+        assert self._source_columns is not None and self._columns is not None
+        out: dict[str, object] = {}
+        for src, col in zip(self._source_columns, self._columns):
+            v = values[src.name]
+            if _is_plain_float(src):
+                fmt = policy.format_for(src.name)
+                if col.type.primitive != src.type.primitive or _is_tf32(fmt):
+                    v = quantize(np.asarray(v), fmt)
+            out[src.name] = v
+        return out
+
+    # -- row staging ----------------------------------------------------
+    def _take_rows(self, n: int) -> dict[str, object]:
+        """Remove and return exactly ``n`` rows from the staging buffer."""
+        assert self._columns is not None
+        out: dict[str, object] = {}
+        for col in self._columns:
+            fragments = self._buffer[col.name]
+            taken: list = []
+            need = n
+            while need > 0:
+                frag = fragments[0]
+                if len(frag) <= need:
+                    taken.append(fragments.pop(0))
+                    need -= len(frag)
+                else:
+                    taken.append(frag[:need])
+                    fragments[0] = frag[need:]
+                    need = 0
+            if not taken:
+                out[col.name] = _empty_values(col)
+            elif len(taken) == 1:
+                out[col.name] = taken[0]
+            elif isinstance(taken[0], np.ndarray):
+                out[col.name] = np.concatenate(taken)
+            else:
+                merged: list = []
+                for part in taken:
+                    merged.extend(part)
+                out[col.name] = merged
+        self._buffered_rows -= n
+        return out
+
+    # -- group flush -----------------------------------------------------
+    def _flush_group(self, values: dict[str, object]) -> None:
+        opts = self._options
+        storage = self._storage
+        builder = self._builder
+        stats = self.stats
+        assert builder is not None and self._columns is not None
+        values = self._quantize_group(values)
+        n_rows = len(next(iter(values.values()))) if values else 0
+        builder.begin_row_group()
+        for c, column in enumerate(self._columns):
+            col_values = values[column.name]
+            chunk_offset = storage.size
+            first_page = builder.next_page_index
+            if n_rows == 0:
+                # explicit empty-group path: one empty page per column
+                # keeps chunk/page indices well-formed for readers
+                page_slices = [(0, 0)]
+            else:
+                page_slices = [
+                    (pos, min(pos + opts.rows_per_page, n_rows))
+                    for pos in range(0, n_rows, opts.rows_per_page)
+                ]
+            for lo, hi in page_slices:
+                page_values = _to_encodable(col_values[lo:hi], column)
+                encoding = self._resolve_encoding(column, page_values)
+                payload = encode_blob(page_values, encoding)
+                stats.encoded_pages_held += 1
+                stats.encoded_payload_bytes_held += len(payload)
+                stats.peak_encoded_pages_held = max(
+                    stats.peak_encoded_pages_held, stats.encoded_pages_held
+                )
+                stats.peak_encoded_payload_bytes = max(
+                    stats.peak_encoded_payload_bytes,
+                    stats.encoded_payload_bytes_held,
+                )
+                framed = frame_page(payload, hi - lo, opts.page_padding)
+                offset = storage.append(framed)
+                builder.add_page(
+                    PageMeta(
+                        offset=offset,
+                        alloc_len=len(payload) + opts.page_padding,
+                        n_values=hi - lo,
+                    ),
+                    hash_bytes(payload),
+                )
+                stats.pages_written += 1
+                stats.encoded_pages_held -= 1
+                stats.encoded_payload_bytes_held -= len(payload)
+                del payload, framed  # nothing encoded survives the page
+            chunk_stats = (
+                _numeric_chunk_stats(col_values)
+                if opts.collect_statistics
+                else None
+            )
+            builder.add_chunk(
+                c,
+                ChunkMeta(
+                    offset=chunk_offset,
+                    size=storage.size - chunk_offset,
+                    first_page=first_page,
+                    n_pages=builder.next_page_index - first_page,
+                ),
+                chunk_stats,
+            )
+        builder.end_row_group(n_rows)
+        stats.groups_flushed += 1
 
     def _resolve_encoding(self, column: PhysicalColumn, values) -> Encoding:
         opts = self._options
@@ -154,108 +442,54 @@ class BullionWriter:
             return choose_encoding(values).encoding
         return default_encoding(column)
 
-    def write(self, table: Table) -> FooterView:
-        opts = self._options
-        if self._schema is not None:
-            columns = validate_against_schema(table, self._schema)
-            logical_fields = list(self._schema.fields)
-        else:
-            columns = physical_schema_for_table(table)
-            logical_fields = [
-                Field(c.name, _logical_for(c)) for c in columns
-            ]
-        if opts.quantization is not None:
-            table, columns = _apply_quantization(
-                table, columns, opts.quantization
-            )
-        num_rows = table.num_rows
-        storage = self._storage
-        storage.append(MAGIC)
 
-        n_groups = max(1, (num_rows + opts.rows_per_group - 1) // opts.rows_per_group)
-        pages: list[PageMeta] = []
-        page_payloads: list[bytes] = []
-        chunks: dict[tuple[int, int], ChunkMeta] = {}
-        chunk_stats: dict[tuple[int, int], ChunkStats] = {}
-        row_groups: list[RowGroupMeta] = []
-        pages_per_group: list[int] = []
-
-        for g in range(n_groups):
-            row_start = g * opts.rows_per_group
-            row_end = min(row_start + opts.rows_per_group, num_rows)
-            rg_first_page = len(pages)
-            for c, column in enumerate(columns):
-                col_values = table.columns[column.name]
-                chunk_offset = storage.size
-                first_page = len(pages)
-                pos = row_start
-                while pos < row_end or (pos == row_start == row_end):
-                    page_end = min(pos + opts.rows_per_page, row_end)
-                    page_values = _to_encodable(
-                        col_values[pos:page_end], column
-                    )
-                    encoding = self._resolve_encoding(column, page_values)
-                    payload = encode_blob(page_values, encoding)
-                    framed = frame_page(
-                        payload, page_end - pos, opts.page_padding
-                    )
-                    offset = storage.append(framed)
-                    pages.append(
-                        PageMeta(
-                            offset=offset,
-                            alloc_len=len(payload) + opts.page_padding,
-                            n_values=page_end - pos,
-                        )
-                    )
-                    page_payloads.append(payload)
-                    pos = page_end
-                    if page_end == row_end:
-                        break
-                chunks[(c, g)] = ChunkMeta(
-                    offset=chunk_offset,
-                    size=storage.size - chunk_offset,
-                    first_page=first_page,
-                    n_pages=len(pages) - first_page,
-                )
-                if opts.collect_statistics:
-                    stats = _numeric_chunk_stats(
-                        col_values[row_start:row_end]
-                    )
-                    if stats is not None:
-                        chunk_stats[(c, g)] = stats
-            row_groups.append(
-                RowGroupMeta(
-                    row_start=row_start,
-                    n_rows=row_end - row_start,
-                    first_page=rg_first_page,
-                )
-            )
-            pages_per_group.append(len(pages) - rg_first_page)
-
-        tree = MerkleTree.build(page_payloads, pages_per_group)
-        footer_data = FooterData(
-            num_rows=num_rows,
-            compliance_level=opts.compliance_level,
-            columns=columns,
-            logical_fields=logical_fields,
-            chunks=chunks,
-            pages=pages,
-            row_groups=row_groups,
-            page_hashes=tree.page_hashes,
-            group_hashes=tree.group_hashes,
-            root_hash=tree.root,
-            chunk_stats=chunk_stats,
-        )
-        footer_bytes = footer_data.serialize()
-        footer_offset = storage.append(footer_bytes)
-        storage.append(struct.pack("<I", len(footer_bytes)) + MAGIC)
-        return FooterView(footer_bytes, file_offset=footer_offset)
+def _value_kind(values):
+    """Comparable batch-consistency key: np dtype, or None for lists."""
+    return values.dtype if isinstance(values, np.ndarray) else None
 
 
-def _apply_quantization(table: Table, columns: list[PhysicalColumn], policy):
-    """Narrow float columns per the §2.4 policy before encoding."""
-    from repro.quantization import FloatFormat, quantize
+def _infer_from_fragments(fragments: list) -> PhysicalType:
+    """Infer a column's physical type from its staged fragments.
 
+    Array fragments are determined by dtype alone; list-kind fragments
+    are ambiguous until one holds a non-empty probe value, so keep
+    scanning and fall back to the last (empty-driven) guess only when
+    no fragment resolves — the same answer the one-shot writer gives
+    for an all-empty column.
+    """
+    from repro.core.table import infer_physical_type
+
+    guess: PhysicalType | None = None
+    for frag in fragments:
+        if isinstance(frag, np.ndarray):
+            return infer_physical_type(frag)
+        if len(frag) == 0:
+            continue
+        guess = infer_physical_type(frag)
+        if any(v is not None and len(v) for v in frag):
+            return guess
+    if guess is not None:
+        return guess
+    # nothing but empty fragments: match one-shot inference on empties
+    probe = next((f for f in fragments if not isinstance(f, np.ndarray)), None)
+    if probe is not None:
+        return infer_physical_type(probe)
+    return infer_physical_type(np.zeros(0, dtype=np.int64))
+
+
+def _is_tf32(fmt) -> bool:
+    from repro.quantization import FloatFormat
+
+    return fmt == FloatFormat.TF32
+
+
+def _quantized_column(column: PhysicalColumn, policy) -> PhysicalColumn:
+    """Physical column after §2.4 narrowing (pure type mapping)."""
+    if not _is_plain_float(column):
+        return column
+    from repro.quantization import FloatFormat
+
+    fmt = policy.format_for(column.name)
     fmt_to_primitive = {
         FloatFormat.FP64: Primitive.FLOAT64,
         FloatFormat.FP32: Primitive.FLOAT32,
@@ -265,25 +499,29 @@ def _apply_quantization(table: Table, columns: list[PhysicalColumn], policy):
         FloatFormat.FP8_E4M3: Primitive.FLOAT8_E4M3,
         FloatFormat.FP8_E5M2: Primitive.FLOAT8_E5M2,
     }
-    new_values: dict[str, object] = {}
-    new_columns: list[PhysicalColumn] = []
-    for col in columns:
-        values = table.columns[col.name]
-        is_plain_float = col.type.list_depth == 0 and col.type.primitive in (
-            Primitive.FLOAT32,
-            Primitive.FLOAT64,
-        )
-        if is_plain_float:
-            fmt = policy.format_for(col.name)
-            prim = fmt_to_primitive[fmt]
-            if prim != col.type.primitive or fmt == FloatFormat.TF32:
-                values = quantize(np.asarray(values), fmt)
-                col = PhysicalColumn(
-                    col.name, PhysicalType(prim, 0), col.source_field
-                )
-        new_values[col.name] = values
-        new_columns.append(col)
-    return Table(new_values), new_columns
+    prim = fmt_to_primitive[fmt]
+    if prim == column.type.primitive and fmt != FloatFormat.TF32:
+        return column
+    return PhysicalColumn(
+        column.name, PhysicalType(prim, 0), column.source_field
+    )
+
+
+def _is_plain_float(column: PhysicalColumn) -> bool:
+    return column.type.list_depth == 0 and column.type.primitive in (
+        Primitive.FLOAT32,
+        Primitive.FLOAT64,
+    )
+
+
+def _empty_values(column: PhysicalColumn):
+    """A zero-row container of the column's storage kind."""
+    if column.type.list_depth > 0 or column.type.primitive in (
+        Primitive.STRING,
+        Primitive.BINARY,
+    ):
+        return []
+    return np.zeros(0, dtype=STORAGE_DTYPES[column.type.primitive])
 
 
 def _numeric_chunk_stats(values) -> ChunkStats | None:
@@ -313,12 +551,12 @@ def _logical_for(column: PhysicalColumn):
 
 
 def write_table(
-    storage: SimulatedStorage,
+    storage: Storage,
     table: Table,
     schema: Schema | None = None,
     **option_kwargs,
 ) -> FooterView:
-    """Convenience wrapper: write with keyword options."""
+    """Convenience wrapper: one-shot write with keyword options."""
     return BullionWriter(
         storage, schema, WriterOptions(**option_kwargs)
     ).write(table)

@@ -1,13 +1,27 @@
-"""Simulated storage substrate.
+"""Storage substrate: one protocol, pluggable backends.
 
 The paper's I/O claims (deletion rewrite cost, metadata pread counts,
 multimodal seek behaviour) are about *bytes moved and seeks issued*.
-We have no 100 PB HDFS testbed, so every Bullion/baseline file in this
-repo is read and written through :class:`SimulatedStorage`, a
-byte-accurate block device that counts operations and models seek and
-bandwidth costs. See DESIGN.md §3 (substitutions).
+Every Bullion/baseline file in this repo is read and written through
+the :class:`Storage` protocol, with three backends:
+
+* :class:`SimulatedStorage` — byte-accurate in-memory block device
+  that counts operations and models seek/bandwidth costs (the default
+  for tests and benchmarks; see DESIGN.md §3 substitutions),
+* :class:`FileStorage` — a real local file via ``os.pread``, for
+  running against an actual filesystem,
+* :class:`LatencyModelledStorage` — wraps either backend and charges
+  (optionally sleeps) modelled device time per operation.
 """
 
 from repro.iosim.blockdev import IOStats, SeekModel, SimulatedStorage
+from repro.iosim.storage import FileStorage, LatencyModelledStorage, Storage
 
-__all__ = ["SimulatedStorage", "IOStats", "SeekModel"]
+__all__ = [
+    "Storage",
+    "SimulatedStorage",
+    "FileStorage",
+    "LatencyModelledStorage",
+    "IOStats",
+    "SeekModel",
+]

@@ -18,6 +18,7 @@ these counters.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -80,6 +81,8 @@ class SimulatedStorage:
         self._buf = bytearray()
         self._read_cursor: int | None = None
         self._write_cursor: int | None = None
+        # parallel scans issue preads from worker threads
+        self._lock = threading.Lock()
 
     # -- geometry -----------------------------------------------------
     def __len__(self) -> int:
@@ -101,31 +104,33 @@ class SimulatedStorage:
         """Positional read; counts a seek when non-contiguous."""
         if offset < 0 or length < 0:
             raise ValueError("negative offset/length")
-        if offset + length > len(self._buf):
-            raise ValueError(
-                f"pread [{offset}, {offset + length}) beyond device "
-                f"size {len(self._buf)}"
-            )
-        self.stats.reads += 1
-        self.stats.bytes_read += length
-        if self._read_cursor != offset:
-            self.stats.read_seeks += 1
-        self._read_cursor = offset + length
-        return bytes(self._buf[offset : offset + length])
+        with self._lock:
+            if offset + length > len(self._buf):
+                raise ValueError(
+                    f"pread [{offset}, {offset + length}) beyond device "
+                    f"size {len(self._buf)}"
+                )
+            self.stats.reads += 1
+            self.stats.bytes_read += length
+            if self._read_cursor != offset:
+                self.stats.read_seeks += 1
+            self._read_cursor = offset + length
+            return bytes(self._buf[offset : offset + length])
 
     def pwrite(self, offset: int, data: bytes) -> None:
         """Positional write; extends the device when writing past end."""
         if offset < 0:
             raise ValueError("negative offset")
-        end = offset + len(data)
-        if end > len(self._buf):
-            self._buf.extend(b"\x00" * (end - len(self._buf)))
-        self.stats.writes += 1
-        self.stats.bytes_written += len(data)
-        if self._write_cursor != offset:
-            self.stats.write_seeks += 1
-        self._write_cursor = end
-        self._buf[offset:end] = data
+        with self._lock:
+            end = offset + len(data)
+            if end > len(self._buf):
+                self._buf.extend(b"\x00" * (end - len(self._buf)))
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            if self._write_cursor != offset:
+                self.stats.write_seeks += 1
+            self._write_cursor = end
+            self._buf[offset:end] = data
 
     def append(self, data: bytes) -> int:
         """Sequential append; returns the offset the data landed at."""

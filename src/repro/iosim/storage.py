@@ -1,0 +1,241 @@
+"""Pluggable storage backends behind one positional-I/O protocol.
+
+Every Bullion read/write path talks to a :class:`Storage` — the small
+pread/pwrite/append surface the paper's design assumes (§2.3: footer
+pread, coalesced per-chunk preads; §2.1: in-place page pwrites).
+Three interchangeable backends implement it:
+
+``SimulatedStorage``        byte-accurate in-memory device with I/O
+                            accounting (the original lab rig; see
+                            :mod:`repro.iosim.blockdev`)
+``FileStorage``             a real local file driven by ``os.pread`` /
+                            ``os.pwrite``, so benchmarks and the
+                            ``repro-inspect`` CLI run against an actual
+                            filesystem
+``LatencyModelledStorage``  a wrapper over either that charges each
+                            operation seek latency + bandwidth time
+                            under a :class:`SeekModel`, optionally
+                            sleeping it out so wall-clock experiments
+                            (parallel vs serial scans) see realistic
+                            device behaviour
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.iosim.blockdev import IOStats, SeekModel
+
+
+@runtime_checkable
+class Storage(Protocol):
+    """Positional-I/O device surface shared by all backends."""
+
+    name: str
+    stats: IOStats
+
+    @property
+    def size(self) -> int: ...
+
+    def pread(self, offset: int, length: int) -> bytes: ...
+
+    def pwrite(self, offset: int, data: bytes) -> None: ...
+
+    def append(self, data: bytes) -> int: ...
+
+    def truncate(self, size: int) -> None: ...
+
+
+class FileStorage:
+    """Real local-file backend: ``os.pread``/``os.pwrite`` on one fd.
+
+    Keeps the same counters and seek accounting as the simulator so
+    code that reports ``storage.stats`` works unchanged. Positional
+    syscalls are thread-safe, so a parallel scan may fetch chunks from
+    several worker threads at once.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        name: str | None = None,
+        create: bool = True,
+        readonly: bool = False,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.name = name or os.path.basename(self.path)
+        self.stats = IOStats()
+        self.readonly = readonly
+        if readonly:
+            flags = os.O_RDONLY  # inspectable without write permission
+        else:
+            flags = os.O_RDWR | (os.O_CREAT if create else 0)
+        self._closed = True  # stays True if os.open raises
+        self._fd = os.open(self.path, flags, 0o644)
+        self._closed = False
+        self._size = os.fstat(self._fd).st_size
+        self._read_cursor: int | None = None
+        self._write_cursor: int | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "FileStorage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort fd cleanup
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    # -- geometry -----------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def truncate(self, size: int) -> None:
+        """Shrink or grow (zero-filled) the file, uncounted."""
+        if self.readonly:
+            raise ValueError(f"storage {self.name!r} opened read-only")
+        os.ftruncate(self._fd, size)
+        self._size = size
+
+    # -- I/O ----------------------------------------------------------
+    def pread(self, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        if offset + length > self._size:
+            raise ValueError(
+                f"pread [{offset}, {offset + length}) beyond file "
+                f"size {self._size}"
+            )
+        data = os.pread(self._fd, length, offset)
+        with self._lock:
+            self.stats.reads += 1
+            self.stats.bytes_read += len(data)
+            if self._read_cursor != offset:
+                self.stats.read_seeks += 1
+            self._read_cursor = offset + len(data)
+        return data
+
+    def pwrite(self, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise ValueError("negative offset")
+        if self.readonly:
+            raise ValueError(f"storage {self.name!r} opened read-only")
+        os.pwrite(self._fd, data, offset)
+        with self._lock:
+            end = offset + len(data)
+            self._size = max(self._size, end)
+            self.stats.writes += 1
+            self.stats.bytes_written += len(data)
+            if self._write_cursor != offset:
+                self.stats.write_seeks += 1
+            self._write_cursor = end
+        # os.pwrite past EOF leaves a hole, not zeros we must fake:
+        # POSIX defines holes to read back as zeros, matching the
+        # simulator's zero-fill semantics.
+
+    def append(self, data: bytes) -> int:
+        with self._lock:
+            offset = self._size
+        self.pwrite(offset, data)
+        return offset
+
+    # -- escape hatches for tests -------------------------------------
+    def raw_bytes(self) -> bytes:
+        """Uncounted full snapshot (test assertions only)."""
+        return os.pread(self._fd, self._size, 0)
+
+    def corrupt(self, offset: int, data: bytes) -> None:
+        """Uncounted direct mutation (failure-injection tests)."""
+        os.pwrite(self._fd, data, offset)
+        self._size = max(self._size, offset + len(data))
+
+
+class LatencyModelledStorage:
+    """Wrap any backend and charge per-op time under a :class:`SeekModel`.
+
+    Each operation costs ``seek_latency`` when non-contiguous plus
+    ``bytes / bandwidth``. The cost accumulates in :attr:`elapsed_s`;
+    with ``sleep=True`` it is also slept out, so concurrent readers
+    genuinely overlap their modelled device time — the property the
+    parallel-scan benchmark measures.
+    """
+
+    def __init__(
+        self,
+        inner: Storage,
+        model: SeekModel | None = None,
+        sleep: bool = False,
+    ) -> None:
+        self.inner = inner
+        self.model = model or SeekModel()
+        self.sleep = sleep
+        self.elapsed_s = 0.0
+        self._read_cursor: int | None = None
+        self._write_cursor: int | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def __len__(self) -> int:
+        return self.inner.size
+
+    def _charge(self, cursor_attr: str, offset: int, nbytes: int) -> None:
+        with self._lock:
+            cost = nbytes / self.model.bandwidth_bytes_per_s
+            if getattr(self, cursor_attr) != offset:
+                cost += self.model.seek_latency_s
+            setattr(self, cursor_attr, offset + nbytes)
+            self.elapsed_s += cost
+        if self.sleep:
+            time.sleep(cost)
+
+    def pread(self, offset: int, length: int) -> bytes:
+        data = self.inner.pread(offset, length)
+        self._charge("_read_cursor", offset, len(data))
+        return data
+
+    def pwrite(self, offset: int, data: bytes) -> None:
+        self.inner.pwrite(offset, data)
+        self._charge("_write_cursor", offset, len(data))
+
+    def append(self, data: bytes) -> int:
+        offset = self.inner.append(data)
+        self._charge("_write_cursor", offset, len(data))
+        return offset
+
+    def truncate(self, size: int) -> None:
+        self.inner.truncate(size)
+
+    # pass through the test escape hatches when the backend has them
+    def raw_bytes(self) -> bytes:
+        return self.inner.raw_bytes()
+
+    def corrupt(self, offset: int, data: bytes) -> None:
+        self.inner.corrupt(offset, data)

@@ -5,16 +5,27 @@ sizes, encodings observed in page blobs, deletion state, checksum
 health); ``describe`` renders it as text. Both read only the footer
 plus one byte per page (the encoding id), so inspection is cheap even
 for wide files.
+
+Command-line usage (installed as the ``repro-inspect`` console script
+via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
+
+    repro-inspect FILE [--max-columns N] [--no-verify]
+
+``FILE`` is a Bullion file on the local filesystem, opened through
+:class:`~repro.iosim.FileStorage`. ``--max-columns`` caps the listed
+columns (default 20); ``--no-verify`` skips the Merkle checksum pass,
+which touches every page of large files.
 """
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 
 from repro.core.page import PAGE_HEADER_SIZE, PageHeader
 from repro.core.reader import BullionReader
 from repro.encodings import encoding_by_id
-from repro.iosim import SimulatedStorage
+from repro.iosim import FileStorage, Storage
 
 
 @dataclass
@@ -45,7 +56,7 @@ class FileReport:
 
 
 def inspect_file(
-    storage: SimulatedStorage, verify_checksums: bool = True
+    storage: Storage, verify_checksums: bool = True
 ) -> FileReport:
     reader = BullionReader(storage)
     footer = reader.footer
@@ -83,9 +94,11 @@ def inspect_file(
     return report
 
 
-def describe(storage: SimulatedStorage, max_columns: int = 20) -> str:
+def describe(
+    storage: Storage, max_columns: int = 20, verify_checksums: bool = True
+) -> str:
     """Human-readable layout summary of a Bullion file."""
-    report = inspect_file(storage)
+    report = inspect_file(storage, verify_checksums=verify_checksums)
     lines = [
         f"bullion file: {report.file_bytes:,} bytes "
         f"({report.data_bytes:,} data, {report.footer_bytes:,} footer)",
@@ -108,3 +121,41 @@ def describe(storage: SimulatedStorage, max_columns: int = 20) -> str:
     if len(report.columns) > max_columns:
         lines.append(f"... and {len(report.columns) - max_columns} more columns")
     return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point: inspect a Bullion file on disk."""
+    parser = argparse.ArgumentParser(
+        prog="repro-inspect",
+        description="Describe the layout of a Bullion file.",
+    )
+    parser.add_argument("file", help="path to a Bullion file")
+    parser.add_argument(
+        "--max-columns",
+        type=int,
+        default=20,
+        metavar="N",
+        help="columns to list before truncating (default: 20)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the Merkle checksum pass (reads every page)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with FileStorage(args.file, readonly=True) as storage:
+            print(
+                describe(
+                    storage,
+                    max_columns=args.max_columns,
+                    verify_checksums=not args.no_verify,
+                )
+            )
+    except (OSError, ValueError) as exc:
+        parser.exit(1, f"repro-inspect: {exc}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

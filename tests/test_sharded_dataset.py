@@ -1,0 +1,172 @@
+"""Tests for ShardedDataset and multi-shard loader iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BullionReader,
+    ShardedDataset,
+    Table,
+    WriterOptions,
+)
+from repro.core.dataset import LoaderOptions, TrainingDataLoader
+from repro.iosim import FileStorage, SimulatedStorage
+
+
+def _table(n=1000):
+    rng = np.random.default_rng(19)
+    return Table(
+        {
+            "x": np.arange(n, dtype=np.int64),
+            "y": rng.normal(size=n).astype(np.float32),
+        }
+    )
+
+
+_OPTS = WriterOptions(rows_per_page=50, rows_per_group=100)
+
+
+class TestShardedWrite:
+    def test_num_shards_split(self):
+        ds = ShardedDataset.write(_table(), num_shards=4, options=_OPTS)
+        assert ds.num_shards == 4
+        assert [r.num_rows for r in ds.readers()] == [250, 250, 250, 250]
+        assert ds.num_rows == 1000
+
+    def test_rows_per_shard_split_with_remainder(self):
+        ds = ShardedDataset.write(_table(), rows_per_shard=300, options=_OPTS)
+        assert [r.num_rows for r in ds.readers()] == [300, 300, 300, 100]
+
+    def test_shards_concatenate_to_original(self):
+        table = _table()
+        ds = ShardedDataset.write(table, num_shards=3, options=_OPTS)
+        parts = [r.project(["x", "y"]) for r in ds.readers()]
+        merged = np.concatenate([p.column("x") for p in parts])
+        assert np.array_equal(merged, table.column("x"))
+
+    def test_scan_chains_across_shards(self):
+        table = _table()
+        ds = ShardedDataset.write(table, num_shards=3, options=_OPTS)
+        seen = np.concatenate(
+            [b.column("x") for b in ds.scan(["x"], batch_size=128)]
+        )
+        assert np.array_equal(seen, table.column("x"))
+
+    def test_split_spec_validation(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardedDataset.write(_table(10))
+        with pytest.raises(ValueError, match="exactly one"):
+            ShardedDataset.write(_table(10), num_shards=2, rows_per_shard=5)
+
+    def test_file_backed_shards(self, tmp_path):
+        table = _table(400)
+        ds = ShardedDataset.write(
+            table,
+            num_shards=2,
+            options=_OPTS,
+            storage_factory=lambda i: FileStorage(tmp_path / f"shard{i}.bullion"),
+        )
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "shard0.bullion",
+            "shard1.bullion",
+        ]
+        assert ds.num_rows == 400
+        got = np.concatenate(
+            [b.column("x") for b in ds.scan(["x"])]
+        )
+        assert np.array_equal(got, table.column("x"))
+
+
+class TestShardedLoader:
+    def test_batches_cover_all_shards_in_order(self):
+        table = _table()
+        ds = ShardedDataset.write(table, num_shards=4, options=_OPTS)
+        loader = TrainingDataLoader(ds, ["x"], LoaderOptions(batch_size=128))
+        seen = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert np.array_equal(seen, table.column("x"))
+
+    def test_batches_span_shard_boundaries(self):
+        # 250-row shards with 300-row batches force cross-shard carry
+        ds = ShardedDataset.write(_table(), num_shards=4, options=_OPTS)
+        loader = TrainingDataLoader(ds, ["x"], LoaderOptions(batch_size=300))
+        assert [b.num_rows for b in loader] == [300, 300, 300, 100]
+
+    def test_prefetch_yields_same_batches(self):
+        table = _table()
+        ds = ShardedDataset.write(table, num_shards=4, options=_OPTS)
+        plain = TrainingDataLoader(ds, ["x"], LoaderOptions(batch_size=128))
+        prefetched = TrainingDataLoader(
+            ds, ["x"], LoaderOptions(batch_size=128, prefetch_batches=3)
+        )
+        for a, b in zip(plain, prefetched):
+            assert a.equals(b)
+
+    def test_shuffle_covers_all_rows_and_reshuffles(self):
+        ds = ShardedDataset.write(_table(), num_shards=4, options=_OPTS)
+        loader = TrainingDataLoader(
+            ds,
+            ["x"],
+            LoaderOptions(batch_size=200, shuffle_row_groups=True),
+        )
+        epoch1 = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        epoch2 = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert sorted(epoch1) == list(range(1000))
+        assert sorted(epoch2) == list(range(1000))
+        assert not np.array_equal(epoch1, epoch2)
+
+    def test_list_of_storages_accepted(self):
+        table = _table(400)
+        shards = []
+        for lo in (0, 200):
+            dev = SimulatedStorage()
+            from repro.core import BullionWriter
+
+            BullionWriter(dev, options=_OPTS).write(table.slice(lo, lo + 200))
+            shards.append(dev)
+        loader = TrainingDataLoader(shards, ["x"], LoaderOptions(batch_size=100))
+        seen = np.concatenate([np.asarray(b.column("x")) for b in loader])
+        assert np.array_equal(seen, table.column("x"))
+        assert loader.num_shards == 2
+
+    def test_missing_column_rejected_on_any_shard(self):
+        ds = ShardedDataset.write(_table(100), num_shards=2, options=_OPTS)
+        with pytest.raises(KeyError, match="not in file"):
+            TrainingDataLoader(ds, ["nope"])
+
+    def test_single_storage_still_works(self):
+        dev = SimulatedStorage()
+        from repro.core import BullionWriter
+
+        table = _table(500)
+        BullionWriter(dev, options=_OPTS).write(table)
+        loader = TrainingDataLoader(dev, ["x"], LoaderOptions(batch_size=200))
+        assert [b.num_rows for b in loader] == [200, 200, 100]
+
+
+class TestRegressionFixes:
+    def test_sharded_scan_batches_exact_across_shards(self):
+        # shard boundary at 250; batches must still be exactly 300
+        ds = ShardedDataset.write(_table(), num_shards=4, options=_OPTS)
+        sizes = [b.num_rows for b in ds.scan(["x"], batch_size=300)]
+        assert sizes == [300, 300, 300, 100]
+
+    def test_rows_per_shard_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ShardedDataset.write(_table(10), rows_per_shard=0)
+
+    def test_prefetch_consumer_early_exit_stops_producer(self):
+        import threading
+        import time
+
+        ds = ShardedDataset.write(_table(), num_shards=4, options=_OPTS)
+        loader = TrainingDataLoader(
+            ds, ["x"], LoaderOptions(batch_size=64, prefetch_batches=1)
+        )
+        before = threading.active_count()
+        it = iter(loader)
+        next(it)
+        it.close()  # consumer abandons the epoch
+        deadline = time.time() + 2.0
+        while threading.active_count() > before and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= before
