@@ -19,6 +19,8 @@ Subpackages
 -----------
 ``repro.core``          the Bullion file format (footer, pages, Merkle
                         checksums, deletion compliance)
+``repro.catalog``       transactional table catalog: snapshots, atomic
+                        commits, time travel, background maintenance
 ``repro.encodings``     the Table 2 cascading encoding catalog
 ``repro.cascading``     sampling-based encoding selection (§2.6)
 ``repro.quantization``  storage quantization (§2.4, Fig 6)

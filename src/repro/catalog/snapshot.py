@@ -1,0 +1,123 @@
+"""Snapshots and manifests: the immutable unit of the table log.
+
+A :class:`Snapshot` is a committed, immutable view of a table: an
+ordered list of :class:`DataFile` entries (each an immutable Bullion
+file plus the footer-derived stats the control plane plans with), a
+parent pointer, a timestamp for ``as_of`` time travel, and an
+operation label plus summary counters for the log.
+
+Snapshots serialize to JSON — small, debuggable, and diffable; the
+heavy metadata (page/chunk indexes, Merkle trees, deletion vectors)
+stays in each file's binary footer where the paper puts it. The
+manifest only ever *names* files and caches their headline stats.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataFile:
+    """One immutable member file, with its footer-derived stats."""
+
+    file_id: str
+    row_count: int
+    deleted_count: int
+    byte_size: int
+    schema_fingerprint: int
+
+    @property
+    def live_rows(self) -> int:
+        return self.row_count - self.deleted_count
+
+    @property
+    def deleted_fraction(self) -> float:
+        return self.deleted_count / self.row_count if self.row_count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "file_id": self.file_id,
+            "row_count": self.row_count,
+            "deleted_count": self.deleted_count,
+            "byte_size": self.byte_size,
+            "schema_fingerprint": self.schema_fingerprint,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "DataFile":
+        return DataFile(
+            file_id=d["file_id"],
+            row_count=int(d["row_count"]),
+            deleted_count=int(d["deleted_count"]),
+            byte_size=int(d["byte_size"]),
+            schema_fingerprint=int(d["schema_fingerprint"]),
+        )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One committed table version (a node of the snapshot log)."""
+
+    snapshot_id: int
+    parent_id: int | None
+    timestamp_ms: int
+    operation: str
+    files: tuple[DataFile, ...] = ()
+    summary: dict = field(default_factory=dict)
+
+    # -- aggregates -----------------------------------------------------
+    @property
+    def total_rows(self) -> int:
+        return sum(f.row_count for f in self.files)
+
+    @property
+    def live_rows(self) -> int:
+        return sum(f.live_rows for f in self.files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.byte_size for f in self.files)
+
+    def file_ids(self) -> set[str]:
+        return {f.file_id for f in self.files}
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> bytes:
+        doc = {
+            "snapshot_id": self.snapshot_id,
+            "parent_id": self.parent_id,
+            "timestamp_ms": self.timestamp_ms,
+            "operation": self.operation,
+            "files": [f.to_dict() for f in self.files],
+            "summary": self.summary,
+        }
+        return json.dumps(doc, indent=1, sort_keys=True).encode()
+
+    @staticmethod
+    def from_json(data: bytes) -> "Snapshot":
+        doc = json.loads(data)
+        return Snapshot(
+            snapshot_id=int(doc["snapshot_id"]),
+            parent_id=(
+                None if doc["parent_id"] is None else int(doc["parent_id"])
+            ),
+            timestamp_ms=int(doc["timestamp_ms"]),
+            operation=doc["operation"],
+            files=tuple(DataFile.from_dict(d) for d in doc["files"]),
+            summary=dict(doc.get("summary", {})),
+        )
+
+
+def snapshot_name(snapshot_id: int) -> str:
+    """Metadata object name for a snapshot id (sortable, fixed width)."""
+    return f"snap-{snapshot_id:010d}.json"
+
+
+def parse_snapshot_name(name: str) -> int | None:
+    """Inverse of :func:`snapshot_name`; None for foreign objects."""
+    if not (name.startswith("snap-") and name.endswith(".json")):
+        return None
+    digits = name[len("snap-") : -len(".json")]
+    return int(digits) if digits.isdigit() else None

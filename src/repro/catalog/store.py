@@ -1,0 +1,227 @@
+"""Where a catalog table lives: metadata CAS + data-file storage.
+
+A :class:`CatalogStore` holds the two halves of a table:
+
+* **metadata objects** — small immutable JSON snapshots, written with
+  *put-if-absent* semantics. ``put_metadata`` is the commit primitive:
+  exactly one of N racing committers wins a given snapshot name, the
+  rest observe the moved HEAD and retry. This is the "atomic rename"
+  commit protocol of Iceberg's Hadoop catalog / Delta's log store,
+  reduced to its essential CAS.
+* **data files** — immutable Bullion files, created through the
+  streaming writer and opened through :class:`~repro.iosim.Storage`,
+  so every existing read/write path works unchanged.
+
+Two interchangeable implementations:
+
+``MemoryCatalogStore``      dict-backed, for tests and simulation; the
+                            CAS is a lock-guarded put-if-absent
+``DirectoryCatalogStore``   a local directory; the CAS is write-to-temp
+                            then ``os.link`` (atomic, fails with EEXIST
+                            when another committer won the name)
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from typing import Protocol, runtime_checkable
+
+from repro.iosim import FileStorage, SimulatedStorage, Storage
+
+
+@runtime_checkable
+class CatalogStore(Protocol):
+    """Metadata CAS + data-file surface shared by all stores."""
+
+    def put_metadata(self, name: str, data: bytes) -> bool: ...
+
+    def read_metadata(self, name: str) -> bytes: ...
+
+    def list_metadata(self) -> list[str]: ...
+
+    def delete_metadata(self, name: str) -> None: ...
+
+    def new_file_id(self) -> str: ...
+
+    def create_data(self, file_id: str) -> Storage: ...
+
+    def open_data(self, file_id: str) -> Storage: ...
+
+    def data_size(self, file_id: str) -> int: ...
+
+    def delete_data(self, file_id: str) -> None: ...
+
+    def list_data(self) -> list[str]: ...
+
+
+class MemoryCatalogStore:
+    """In-memory store: dicts behind one lock.
+
+    ``put_metadata`` is put-if-absent under the lock — the same
+    winner-takes-the-name semantics as the directory store's
+    ``os.link``, so concurrency tests exercise the real commit race.
+    Data files are :class:`SimulatedStorage` objects; deleting one from
+    the store does not invalidate readers already holding it, matching
+    POSIX unlink-while-open behaviour.
+    """
+
+    def __init__(self, name: str = "catalog") -> None:
+        self.name = name
+        self._meta: dict[str, bytes] = {}
+        self._data: dict[str, SimulatedStorage] = {}
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+
+    # -- metadata (CAS) -------------------------------------------------
+    def put_metadata(self, name: str, data: bytes) -> bool:
+        with self._lock:
+            if name in self._meta:
+                return False
+            self._meta[name] = bytes(data)
+            return True
+
+    def read_metadata(self, name: str) -> bytes:
+        with self._lock:
+            try:
+                return self._meta[name]
+            except KeyError:
+                raise FileNotFoundError(f"no metadata object {name!r}")
+
+    def list_metadata(self) -> list[str]:
+        with self._lock:
+            return sorted(self._meta)
+
+    def delete_metadata(self, name: str) -> None:
+        with self._lock:
+            self._meta.pop(name, None)
+
+    # -- data files -----------------------------------------------------
+    def new_file_id(self) -> str:
+        with self._lock:
+            return f"f-{next(self._ids):08d}"
+
+    def create_data(self, file_id: str) -> Storage:
+        with self._lock:
+            if file_id in self._data:
+                raise FileExistsError(f"data file {file_id!r} exists")
+            storage = SimulatedStorage(file_id)
+            self._data[file_id] = storage
+            return storage
+
+    def open_data(self, file_id: str) -> Storage:
+        with self._lock:
+            try:
+                return self._data[file_id]
+            except KeyError:
+                raise FileNotFoundError(f"no data file {file_id!r}")
+
+    def data_size(self, file_id: str) -> int:
+        return self.open_data(file_id).size
+
+    def delete_data(self, file_id: str) -> None:
+        with self._lock:
+            self._data.pop(file_id, None)
+
+    def list_data(self) -> list[str]:
+        with self._lock:
+            return sorted(self._data)
+
+
+class DirectoryCatalogStore:
+    """A table rooted at a local directory::
+
+        <root>/snapshots/   snap-0000000001.json ...
+        <root>/data/        f-<pid>-<seq>.bullion ...
+        <root>/tmp/         staging for the atomic metadata commit
+
+    The commit primitive writes the snapshot to ``tmp/``, fsyncs, then
+    ``os.link``\\ s it to its final name: atomic on POSIX, and it fails
+    with ``EEXIST`` when a concurrent committer already claimed the
+    name — no committed snapshot can ever reference a half-written
+    manifest. File ids embed the pid plus a per-process sequence, so
+    writers in different processes never collide.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.fspath(root)
+        self._snapdir = os.path.join(self.root, "snapshots")
+        self._datadir = os.path.join(self.root, "data")
+        self._tmpdir = os.path.join(self.root, "tmp")
+        for d in (self._snapdir, self._datadir, self._tmpdir):
+            os.makedirs(d, exist_ok=True)
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+
+    # -- metadata (CAS) -------------------------------------------------
+    def put_metadata(self, name: str, data: bytes) -> bool:
+        with self._lock:
+            tmp = os.path.join(
+                self._tmpdir,
+                f"{os.getpid()}-{threading.get_ident()}-{next(self._ids)}",
+            )
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.link(tmp, os.path.join(self._snapdir, name))
+            return True
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+
+    def read_metadata(self, name: str) -> bytes:
+        with open(os.path.join(self._snapdir, name), "rb") as f:
+            return f.read()
+
+    def list_metadata(self) -> list[str]:
+        return sorted(os.listdir(self._snapdir))
+
+    def delete_metadata(self, name: str) -> None:
+        try:
+            os.unlink(os.path.join(self._snapdir, name))
+        except FileNotFoundError:
+            pass
+
+    # -- data files -----------------------------------------------------
+    def _data_path(self, file_id: str) -> str:
+        return os.path.join(self._datadir, f"{file_id}.bullion")
+
+    def new_file_id(self) -> str:
+        with self._lock:
+            return f"f-{os.getpid():05d}-{next(self._ids):06d}"
+
+    def create_data(self, file_id: str) -> Storage:
+        path = self._data_path(file_id)
+        if os.path.exists(path):
+            raise FileExistsError(f"data file {file_id!r} exists")
+        return FileStorage(path, name=file_id)
+
+    def open_data(self, file_id: str) -> Storage:
+        path = self._data_path(file_id)
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"no data file {file_id!r}")
+        # data files are immutable once committed; readers share the
+        # bytes even if the file is unlinked by GC while they hold it
+        return FileStorage(path, name=file_id, create=False, readonly=True)
+
+    def data_size(self, file_id: str) -> int:
+        return os.path.getsize(self._data_path(file_id))
+
+    def delete_data(self, file_id: str) -> None:
+        try:
+            os.unlink(self._data_path(file_id))
+        except FileNotFoundError:
+            pass
+
+    def list_data(self) -> list[str]:
+        return sorted(
+            n[: -len(".bullion")]
+            for n in os.listdir(self._datadir)
+            if n.endswith(".bullion")
+        )

@@ -1,0 +1,370 @@
+"""CatalogTable: the transactional control plane over Bullion files.
+
+A table is a log of immutable :class:`~repro.catalog.Snapshot`\\ s in a
+:class:`~repro.catalog.CatalogStore`. HEAD is simply the highest
+committed snapshot id; commits race through the store's put-if-absent
+CAS (see :mod:`repro.catalog.transaction`).
+
+Reads never touch HEAD directly — they **pin** a snapshot:
+``pin()``/``scan()``/``as_of()`` resolve to one immutable file set and
+hold a refcount the garbage collector respects, which is what makes
+the existing :class:`~repro.core.reader.Scan` and ``ChunkCache`` safe
+by construction (a pinned file is never mutated, and never deleted
+while pinned). :meth:`PinnedSnapshot.loader` hands the pinned reader
+set straight to :class:`~repro.core.dataset.TrainingDataLoader`, so
+training epochs are reproducible while ingest keeps committing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.snapshot import (
+    Snapshot,
+    parse_snapshot_name,
+    snapshot_name,
+)
+from repro.catalog.store import CatalogStore
+from repro.catalog.transaction import Transaction
+from repro.core.compact import CompactionReport
+from repro.core.dataset import LoaderOptions, TrainingDataLoader, rebatch
+from repro.core.reader import BullionReader, Predicate
+from repro.core.schema import Schema
+from repro.core.table import Table, concat_tables
+from repro.core.writer import WriterOptions
+
+#: parsed-snapshot cache bound (oldest ids evicted first; pinned
+#: snapshots are unaffected — each PinnedSnapshot holds its own copy)
+_SNAP_CACHE_MAX = 128
+
+
+@dataclass
+class CatalogStats:
+    """Control-plane counters for one table handle."""
+
+    commits: int = 0
+    conflicts: int = 0
+    aborts: int = 0
+
+
+class PinnedSnapshot:
+    """An immutable file set held open for reading.
+
+    Refcounts on the owning table keep the snapshot's metadata and
+    data files out of GC's reach until :meth:`release` (or context
+    exit). Readers are opened lazily and cached, so repeat scans share
+    each file's chunk cache across epochs.
+    """
+
+    def __init__(self, table: "CatalogTable", snapshot: Snapshot) -> None:
+        self._table = table
+        self.snapshot = snapshot
+        self._readers: list[BullionReader] | None = None
+        self._storages: list = []
+        self._released = False
+
+    # -- lifecycle ------------------------------------------------------
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._readers = None
+            for storage in self._storages:
+                close = getattr(storage, "close", None)
+                if close is not None:  # FileStorage holds an fd
+                    close()
+            self._storages = []
+            self._table._unpin(self.snapshot.snapshot_id)
+
+    def __enter__(self) -> "PinnedSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # -- reading --------------------------------------------------------
+    def readers(self) -> list[BullionReader]:
+        if self._released:
+            raise RuntimeError("pinned snapshot already released")
+        if self._readers is None:
+            store = self._table.store
+            self._storages = [
+                store.open_data(f.file_id) for f in self.snapshot.files
+            ]
+            self._readers = [BullionReader(s) for s in self._storages]
+        return self._readers
+
+    def scan(self, columns: list[str], **scan_kwargs):
+        """Chained lazy scan over the pinned file set (one stream)."""
+        batch_size = scan_kwargs.pop("batch_size", None)
+        chunks = (
+            batch
+            for reader in self.readers()
+            for batch in reader.scan(columns, **scan_kwargs)
+        )
+        if batch_size is None:
+            yield from chunks
+            return
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        yield from rebatch(chunks, batch_size)
+
+    def read(self, columns: list[str], **scan_kwargs) -> Table:
+        """Eagerly materialize a projection of the pinned snapshot."""
+        return concat_tables(list(self.scan(columns, **scan_kwargs)))
+
+    def loader(
+        self, columns: list[str], options: LoaderOptions | None = None
+    ) -> TrainingDataLoader:
+        """A loader bound to this pin: every epoch sees the same rows."""
+        return TrainingDataLoader(self, columns, options)
+
+
+class CatalogTable:
+    """Open (or :meth:`create`) a table in a :class:`CatalogStore`."""
+
+    def __init__(self, store: CatalogStore, clock=None) -> None:
+        self.store = store
+        self.stats = CatalogStats()
+        self._clock = clock or (lambda: time.time_ns() // 1_000_000)
+        self._lock = threading.Lock()
+        self._snap_cache: dict[int, Snapshot] = {}
+        #: snapshot id -> pin count (this handle's readers)
+        self._pins: dict[int, int] = {}
+        #: data files staged by open transactions (GC must not touch)
+        self._inflight: set[str] = set()
+        if self._snapshot_ids() == []:
+            raise FileNotFoundError(
+                "store holds no snapshots; use CatalogTable.create()"
+            )
+
+    @classmethod
+    def create(cls, store: CatalogStore, clock=None) -> "CatalogTable":
+        """Initialize an empty table (snapshot 0) in ``store``."""
+        now = (clock or (lambda: time.time_ns() // 1_000_000))()
+        genesis = Snapshot(
+            snapshot_id=0,
+            parent_id=None,
+            timestamp_ms=now,
+            operation="create",
+        )
+        if not store.put_metadata(snapshot_name(0), genesis.to_json()):
+            raise FileExistsError("store already holds a table")
+        return cls(store, clock=clock)
+
+    # -- snapshot log ---------------------------------------------------
+    def _snapshot_ids(self) -> list[int]:
+        ids = [
+            sid
+            for name in self.store.list_metadata()
+            if (sid := parse_snapshot_name(name)) is not None
+        ]
+        return sorted(ids)
+
+    def snapshot(self, snapshot_id: int) -> Snapshot:
+        with self._lock:
+            cached = self._snap_cache.get(snapshot_id)
+        if cached is not None:
+            return cached
+        data = self.store.read_metadata(snapshot_name(snapshot_id))
+        snap = Snapshot.from_json(data)
+        with self._lock:
+            self._cache_snapshot(snap)
+        return snap
+
+    def _cache_snapshot(self, snap: Snapshot) -> None:
+        """Insert under the held lock, evicting the oldest past the cap."""
+        self._snap_cache[snap.snapshot_id] = snap
+        while len(self._snap_cache) > _SNAP_CACHE_MAX:
+            self._snap_cache.pop(min(self._snap_cache))
+
+    def current_snapshot(self) -> Snapshot:
+        ids = self._snapshot_ids()
+        if not ids:
+            raise FileNotFoundError("table has no snapshots")
+        return self.snapshot(ids[-1])
+
+    def history(self) -> list[Snapshot]:
+        """All retained snapshots, oldest first."""
+        out = []
+        for sid in self._snapshot_ids():
+            try:
+                out.append(self.snapshot(sid))
+            except FileNotFoundError:
+                continue  # expired between listing and reading
+        return out
+
+    def as_of(self, timestamp_ms: int) -> Snapshot:
+        """Latest snapshot committed at or before ``timestamp_ms``."""
+        best: Snapshot | None = None
+        for snap in self.history():
+            if snap.timestamp_ms <= timestamp_ms:
+                best = snap
+        if best is None:
+            raise LookupError(
+                f"no snapshot at or before t={timestamp_ms} ms"
+            )
+        return best
+
+    def _next_timestamp_ms(self, parent_ms: int) -> int:
+        # strictly increasing along the log so as_of() is unambiguous
+        return max(self._clock(), parent_ms + 1)
+
+    # -- transactions ---------------------------------------------------
+    def transaction(self) -> Transaction:
+        return Transaction(self)
+
+    def append(
+        self,
+        table: Table,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> Snapshot:
+        txn = self.transaction()
+        txn.append(table, schema=schema, options=options)
+        return txn.commit()
+
+    def add_shards(
+        self,
+        table: Table,
+        rows_per_shard: int,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> Snapshot:
+        txn = self.transaction()
+        txn.add_shards(
+            table, rows_per_shard, schema=schema, options=options
+        )
+        return txn.commit()
+
+    def delete(self, predicate: Predicate) -> Snapshot:
+        txn = self.transaction()
+        if txn.delete(predicate) == 0:
+            txn.abort()  # nothing matched: no no-op snapshot
+            return self.current_snapshot()
+        return txn.commit()
+
+    def compact(
+        self,
+        min_deleted_fraction: float = 0.0,
+        options: WriterOptions | None = None,
+    ) -> tuple[Snapshot, CompactionReport]:
+        txn = self.transaction()
+        report = txn.compact(
+            min_deleted_fraction=min_deleted_fraction, options=options
+        )
+        if report.bytes_in == 0:
+            txn.abort()  # nothing to compact: no no-op snapshot
+            return self.current_snapshot(), report
+        return txn.commit(), report
+
+    def expire_snapshot(self, snapshot_id: int) -> bool:
+        """Delete one snapshot's metadata unless it is pinned.
+
+        The pin check and the delete happen under the table lock —
+        the same lock :meth:`pin` registers under — so a racing
+        ``pin()`` either lands first (we refuse) or observes the
+        missing metadata and re-resolves. Returns True when expired.
+        """
+        with self._lock:
+            if snapshot_id in self._pins:
+                return False
+            self._snap_cache.pop(snapshot_id, None)
+            self.store.delete_metadata(snapshot_name(snapshot_id))
+        return True
+
+    # -- pinned reads ---------------------------------------------------
+    def pin(
+        self,
+        snapshot_id: int | None = None,
+        as_of: int | None = None,
+    ) -> PinnedSnapshot:
+        """Pin one immutable snapshot for reading (default: HEAD)."""
+        if snapshot_id is not None and as_of is not None:
+            raise ValueError("pass at most one of snapshot_id/as_of")
+        for _attempt in range(10):
+            if as_of is not None:
+                snap = self.as_of(as_of)
+            elif snapshot_id is not None:
+                snap = self.snapshot(snapshot_id)
+            else:
+                snap = self.current_snapshot()
+            with self._lock:
+                self._pins[snap.snapshot_id] = (
+                    self._pins.get(snap.snapshot_id, 0) + 1
+                )
+            # the snapshot may have been expired between resolving it
+            # and registering the pin; expire_snapshot serializes on
+            # the same lock, so a post-registration existence check
+            # closes the window (bypassing the snapshot cache)
+            if snapshot_name(snap.snapshot_id) in self.store.list_metadata():
+                return PinnedSnapshot(self, snap)
+            self._unpin(snap.snapshot_id)
+            if snapshot_id is not None:
+                raise LookupError(f"snapshot {snapshot_id} was expired")
+        raise RuntimeError("could not pin a snapshot: expiry kept racing")
+
+    def _unpin(self, snapshot_id: int) -> None:
+        with self._lock:
+            count = self._pins.get(snapshot_id, 0) - 1
+            if count <= 0:
+                self._pins.pop(snapshot_id, None)
+            else:
+                self._pins[snapshot_id] = count
+
+    def pinned_snapshot_ids(self) -> set[int]:
+        with self._lock:
+            return set(self._pins)
+
+    def pinned_file_ids(self) -> set[str]:
+        """Data files GC must leave alone: pinned or mid-transaction."""
+        out: set[str] = set()
+        for sid in self.pinned_snapshot_ids():
+            out |= self.snapshot(sid).file_ids()
+        with self._lock:
+            out |= self._inflight
+        return out
+
+    def scan(
+        self,
+        columns: list[str],
+        snapshot_id: int | None = None,
+        as_of: int | None = None,
+        **scan_kwargs,
+    ):
+        """Lazy batch stream over a pinned snapshot (pin held while
+        iterating, released when the generator closes)."""
+        pinned = self.pin(snapshot_id=snapshot_id, as_of=as_of)
+        try:
+            yield from pinned.scan(columns, **scan_kwargs)
+        finally:
+            pinned.release()
+
+    def read(
+        self,
+        columns: list[str],
+        snapshot_id: int | None = None,
+        as_of: int | None = None,
+        **scan_kwargs,
+    ) -> Table:
+        with self.pin(snapshot_id=snapshot_id, as_of=as_of) as pinned:
+            return pinned.read(columns, **scan_kwargs)
+
+    # -- transaction bookkeeping (called by Transaction) ----------------
+    def _register_inflight(self, file_id: str) -> None:
+        with self._lock:
+            self._inflight.add(file_id)
+
+    def _unregister_inflight(self, file_ids: list[str]) -> None:
+        with self._lock:
+            self._inflight.difference_update(file_ids)
+
+    def _note_commit(self, snap: Snapshot) -> None:
+        with self._lock:
+            self._cache_snapshot(snap)
+            self.stats.commits += 1
+
+    def _count(self, attr: str) -> None:
+        with self._lock:
+            setattr(self.stats, attr, getattr(self.stats, attr) + 1)

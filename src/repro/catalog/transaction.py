@@ -1,0 +1,337 @@
+"""Transactions: stage new files, commit a snapshot, retry on races.
+
+Every mutation follows the same two-phase shape:
+
+1. **stage** — write new *immutable* data files through the existing
+   streaming writer (``append``), copy-on-write + in-place scrub
+   (``delete``), or rewrite (``compact``). Nothing is visible yet: a
+   data file only becomes part of the table when a committed snapshot
+   names it, so no committed snapshot can ever reference a
+   half-written file.
+2. **commit** — serialize ``base snapshot − removed files + added
+   files`` as snapshot ``HEAD+1`` and publish it with the store's
+   put-if-absent CAS. Losing the race means another committer moved
+   HEAD first: the transaction re-reads HEAD, re-validates (every file
+   it removes must still be live — if a conflicting committer already
+   replaced one, the transaction aborts), and replays its edit on top.
+   Pure appends always replay; delete/compact/rollup abort iff their
+   input files were concurrently compacted away.
+
+``abort()`` (called automatically on conflict exhaustion or
+validation failure) deletes the staged data files so nothing leaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog.snapshot import DataFile, Snapshot, snapshot_name
+from repro.core.compact import CompactionReport, compact as compact_file
+from repro.core.dataset import ShardedDataset
+from repro.core.deletion import delete_rows
+from repro.core.reader import BullionReader, Predicate
+from repro.core.schema import Schema
+from repro.core.table import Table
+from repro.core.writer import BullionWriter, WriterOptions
+from repro.iosim import Storage
+
+
+class CommitConflict(RuntimeError):
+    """The transaction lost its race and could not be replayed."""
+
+
+def data_file_entry(storage: Storage, file_id: str) -> DataFile:
+    """Manifest entry for a finished Bullion file, stats from its footer."""
+    reader = BullionReader(storage)
+    return DataFile(
+        file_id=file_id,
+        row_count=reader.num_rows,
+        deleted_count=reader.footer.deleted_count(),
+        byte_size=storage.size,
+        schema_fingerprint=reader.schema_fingerprint(),
+    )
+
+
+class Transaction:
+    """One atomic mutation of a :class:`~repro.catalog.CatalogTable`."""
+
+    def __init__(self, table) -> None:
+        self._table = table
+        self._store = table.store
+        self._base = table.current_snapshot()
+        self._added: list[DataFile] = []
+        self._removed: set[str] = set()
+        self._staged_ids: list[str] = []
+        self._ops: list[str] = []
+        self._summary: dict = {}
+        self._state = "open"  # open -> committed | aborted
+
+    # -- staging helpers ------------------------------------------------
+    def _require_open(self) -> None:
+        if self._state != "open":
+            raise RuntimeError(f"transaction already {self._state}")
+
+    def staged_files(self) -> list[DataFile]:
+        """The file list this transaction would commit right now."""
+        kept = [
+            f for f in self._base.files if f.file_id not in self._removed
+        ]
+        return kept + list(self._added)
+
+    def new_data_file(self) -> tuple[str, Storage]:
+        """Allocate a staged data file (deleted again if we abort)."""
+        self._require_open()
+        file_id = self._store.new_file_id()
+        storage = self._store.create_data(file_id)
+        self._staged_ids.append(file_id)
+        self._table._register_inflight(file_id)
+        return file_id, storage
+
+    def add_file(self, storage: Storage, file_id: str) -> DataFile:
+        """Stage a finished Bullion file written via :meth:`new_data_file`."""
+        entry = data_file_entry(storage, file_id)
+        self._check_fingerprint(entry)
+        self._added.append(entry)
+        return entry
+
+    def _check_fingerprint(self, entry: DataFile) -> None:
+        for existing in self.staged_files():
+            if existing.schema_fingerprint != entry.schema_fingerprint:
+                raise ValueError(
+                    f"schema fingerprint mismatch: file {entry.file_id!r} "
+                    f"({entry.schema_fingerprint:#x}) vs table "
+                    f"({existing.schema_fingerprint:#x})"
+                )
+            break
+
+    def _bump(self, key: str, amount: int) -> None:
+        self._summary[key] = self._summary.get(key, 0) + amount
+
+    # -- mutations ------------------------------------------------------
+    def append(
+        self,
+        table: Table,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> DataFile:
+        """Write one new file holding ``table`` and stage it."""
+        self._require_open()
+        file_id, storage = self.new_data_file()
+        writer = BullionWriter(storage, schema=schema, options=options)
+        writer.open()
+        writer.write_batch(table)
+        writer.finish()
+        entry = self.add_file(storage, file_id)
+        self._ops.append("append")
+        self._bump("rows_added", table.num_rows)
+        return entry
+
+    def add_shards(
+        self,
+        table: Table,
+        rows_per_shard: int,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> list[DataFile]:
+        """Split ``table`` into shard files and stage them all.
+
+        Reuses :meth:`ShardedDataset.write` with this transaction's
+        staged storages as the shard factory, so one commit publishes
+        the whole shard set atomically.
+        """
+        self._require_open()
+        ids: list[str] = []
+
+        def factory(i: int) -> Storage:
+            file_id, storage = self.new_data_file()
+            ids.append(file_id)
+            return storage
+
+        dataset = ShardedDataset.write(
+            table,
+            rows_per_shard=rows_per_shard,
+            storage_factory=factory,
+            schema=schema,
+            options=options,
+        )
+        entries = [
+            self.add_file(storage, file_id)
+            for file_id, storage in zip(ids, dataset.shards)
+        ]
+        self._ops.append("add-shards")
+        self._bump("rows_added", table.num_rows)
+        self._bump("shards_added", len(entries))
+        return entries
+
+    def delete(self, predicate: Predicate) -> int:
+        """Delete matching rows via copy-on-write + in-place scrub.
+
+        Each affected file is copied byte-for-byte to a new file and
+        the §2.1 page-granular scrub (:func:`delete_rows`) runs on the
+        copy — the original stays immutable, so readers pinned to
+        earlier snapshots are safe by construction. Files whose rows
+        don't match are carried over untouched. Returns rows deleted.
+        """
+        self._require_open()
+        total = 0
+        for entry in self.staged_files():
+            source = self._store.open_data(entry.file_id)
+            reader = BullionReader(source)
+            try:
+                reader.footer.find_column(predicate.column)
+            except KeyError:
+                continue
+            values = np.asarray(
+                reader.project(
+                    [predicate.column], drop_deleted=False
+                ).column(predicate.column)
+            )
+            mask = np.ones(len(values), dtype=np.bool_)
+            if predicate.min_value is not None:
+                mask &= values >= predicate.min_value
+            if predicate.max_value is not None:
+                mask &= values <= predicate.max_value
+            mask &= ~reader.footer.deletion_bitmap()
+            rows = np.flatnonzero(mask)
+            if len(rows) == 0:
+                continue
+            new_id, copy = self.new_data_file()
+            copy.append(source.pread(0, source.size))
+            delete_rows(copy, rows)
+            if entry.file_id in {f.file_id for f in self._added}:
+                self._added = [
+                    f for f in self._added if f.file_id != entry.file_id
+                ]
+            else:
+                self._removed.add(entry.file_id)
+            self._added.append(data_file_entry(copy, new_id))
+            total += len(rows)
+        self._ops.append("delete")
+        self._bump("rows_deleted", total)
+        return total
+
+    def compact(
+        self,
+        file_ids: list[str] | None = None,
+        min_deleted_fraction: float = 0.0,
+        options: WriterOptions | None = None,
+    ) -> CompactionReport:
+        """Rewrite deletion-scrubbed files without their dead rows.
+
+        By default every staged file carrying deletions at or above
+        ``min_deleted_fraction`` is rewritten; ``file_ids`` narrows the
+        set explicitly. Returns the aggregate report.
+        """
+        self._require_open()
+        rows_in = rows_out = bytes_in = bytes_out = 0
+        for entry in self.staged_files():
+            if file_ids is not None and entry.file_id not in file_ids:
+                continue
+            if file_ids is None and (
+                entry.deleted_count == 0
+                or entry.deleted_fraction < min_deleted_fraction
+            ):
+                continue
+            new_id, target = self.new_data_file()
+            report = compact_file(
+                self._store.open_data(entry.file_id), target, options=options
+            )
+            if entry.file_id in {f.file_id for f in self._added}:
+                self._added = [
+                    f for f in self._added if f.file_id != entry.file_id
+                ]
+            else:
+                self._removed.add(entry.file_id)
+            if report.rows_out > 0:
+                self._added.append(data_file_entry(target, new_id))
+            # else: every row was deleted — drop the file from the
+            # table; the staged empty rewrite is swept at commit
+            rows_in += report.rows_in
+            rows_out += report.rows_out
+            bytes_in += report.bytes_in
+            bytes_out += report.bytes_out
+        self._ops.append("compact")
+        self._bump("bytes_reclaimed", bytes_in - bytes_out)
+        return CompactionReport(
+            rows_in=rows_in,
+            rows_out=rows_out,
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+        )
+
+    def replace_files(
+        self,
+        removed_ids: list[str],
+        added: list[DataFile],
+        operation: str,
+        summary: dict | None = None,
+    ) -> None:
+        """Stage an arbitrary file-set edit (the maintenance surface)."""
+        self._require_open()
+        live = {f.file_id for f in self.staged_files()}
+        missing = [fid for fid in removed_ids if fid not in live]
+        if missing:
+            raise ValueError(f"cannot remove unknown files {missing}")
+        self._removed.update(removed_ids)
+        self._added.extend(added)
+        self._ops.append(operation)
+        for key, value in (summary or {}).items():
+            self._bump(key, value)
+
+    # -- commit protocol ------------------------------------------------
+    def commit(self, max_retries: int = 20) -> Snapshot:
+        """Publish the staged edit as the next snapshot (CAS + retry)."""
+        self._require_open()
+        if not self._ops:
+            raise ValueError("empty transaction: nothing staged")
+        table = self._table
+        head = self._base
+        for _attempt in range(max_retries + 1):
+            # re-validate against (possibly moved) HEAD: every file we
+            # replace must still be live
+            head_ids = head.file_ids()
+            gone = self._removed - head_ids
+            if gone:
+                self.abort()
+                raise CommitConflict(
+                    f"files {sorted(gone)} were replaced by a concurrent "
+                    f"commit; transaction aborted"
+                )
+            files = [
+                f for f in head.files if f.file_id not in self._removed
+            ] + list(self._added)
+            snap = Snapshot(
+                snapshot_id=head.snapshot_id + 1,
+                parent_id=head.snapshot_id,
+                timestamp_ms=table._next_timestamp_ms(head.timestamp_ms),
+                operation=",".join(dict.fromkeys(self._ops)),
+                files=tuple(files),
+                summary=dict(self._summary),
+            )
+            if self._store.put_metadata(
+                snapshot_name(snap.snapshot_id), snap.to_json()
+            ):
+                self._state = "committed"
+                table._note_commit(snap)
+                table._unregister_inflight(self._staged_ids)
+                # staged files superseded within this very transaction
+                # (e.g. delete-then-compact) are unreferenced: drop them
+                referenced = snap.file_ids()
+                for file_id in self._staged_ids:
+                    if file_id not in referenced:
+                        self._store.delete_data(file_id)
+                return snap
+            table._count("conflicts")
+            head = table.current_snapshot()
+        self.abort()
+        raise CommitConflict(f"commit failed after {max_retries} retries")
+
+    def abort(self) -> None:
+        """Drop the transaction and delete its staged data files."""
+        if self._state != "open":
+            return
+        self._state = "aborted"
+        for file_id in self._staged_ids:
+            self._store.delete_data(file_id)
+        self._table._unregister_inflight(self._staged_ids)
+        self._table._count("aborts")

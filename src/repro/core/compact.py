@@ -10,6 +10,10 @@ OPTIMIZE after deletion vectors.
 the per-page padding and mask slots), returning how many bytes were
 reclaimed. :func:`merge` concatenates several files into one, which is
 how small incremental ingests roll up into training-sized files.
+
+Both accept any :class:`~repro.iosim.Storage` backend — simulated,
+real file, or latency-modelled — so catalog maintenance jobs run
+unchanged against an actual filesystem.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import numpy as np
 from repro.core.reader import BullionReader
 from repro.core.table import Table
 from repro.core.writer import BullionWriter, WriterOptions
-from repro.iosim import SimulatedStorage
+from repro.iosim import Storage
 
 
 @dataclass(frozen=True)
@@ -37,8 +41,8 @@ class CompactionReport:
 
 
 def compact(
-    source: SimulatedStorage,
-    target: SimulatedStorage,
+    source: Storage,
+    target: Storage,
     options: WriterOptions | None = None,
 ) -> CompactionReport:
     """Rewrite ``source`` into ``target`` dropping deleted rows."""
@@ -55,8 +59,8 @@ def compact(
 
 
 def merge(
-    sources: list[SimulatedStorage],
-    target: SimulatedStorage,
+    sources: list[Storage],
+    target: Storage,
     options: WriterOptions | None = None,
 ) -> CompactionReport:
     """Concatenate files with identical physical columns into one."""

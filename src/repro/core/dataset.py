@@ -144,23 +144,27 @@ class ShardedDataset:
             return
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        yield from _rebatch(chunks, batch_size)
+        yield from rebatch(chunks, batch_size)
 
 
 class TrainingDataLoader:
     """Iterate mini-batches of a feature projection over a Bullion
-    file, a list of shard storages, or a :class:`ShardedDataset`."""
+    file, a list of shard storages, a :class:`ShardedDataset`, or any
+    snapshot-like source exposing ``readers()`` (e.g. a pinned catalog
+    snapshot, so epochs stay reproducible while ingest continues)."""
 
     def __init__(
         self,
-        source: "Storage | ShardedDataset | list[Storage]",
+        source: "Storage | ShardedDataset | list[Storage] | object",
         columns: list[str],
         options: LoaderOptions | None = None,
     ) -> None:
-        if isinstance(source, ShardedDataset):
-            self._readers = source.readers()
-        elif isinstance(source, (list, tuple)):
+        if isinstance(source, (list, tuple)):
             self._readers = [BullionReader(s) for s in source]
+        elif hasattr(source, "readers"):
+            # ShardedDataset or a pinned catalog snapshot: a fixed,
+            # immutable reader set
+            self._readers = list(source.readers())
         else:
             self._readers = [BullionReader(source)]
         for reader in self._readers:
@@ -214,12 +218,12 @@ class TrainingDataLoader:
                     max_workers=opts.scan_workers,
                 )
 
-        yield from _rebatch(
+        yield from rebatch(
             chunks(), opts.batch_size, drop_last=opts.drop_last
         )
 
 
-def _rebatch(chunks, batch_size: int, drop_last: bool = False):
+def rebatch(chunks, batch_size: int, drop_last: bool = False):
     """Re-slice a stream of tables into exact ``batch_size`` batches.
 
     The carry flows across whatever boundaries the input stream has

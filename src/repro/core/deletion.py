@@ -52,7 +52,7 @@ from repro.encodings.rle import RLE
 from repro.encodings.roaring import Roaring
 from repro.encodings.trivial import Trivial
 from repro.encodings.varint_enc import Varint
-from repro.iosim import SimulatedStorage
+from repro.iosim import Storage
 from repro.util.bitio import set_packed_value
 from repro.util.hashing import combine_hashes, hash_bytes
 
@@ -294,7 +294,7 @@ class DeletionReport:
 
 
 def delete_rows(
-    storage: SimulatedStorage,
+    storage: Storage,
     rows,
     level: int | None = None,
 ) -> DeletionReport:
@@ -451,7 +451,7 @@ def delete_rows(
 
 
 def rewrite_without_rows(
-    storage: SimulatedStorage, rows, target: SimulatedStorage
+    storage: Storage, rows, target: Storage
 ) -> DeletionReport:
     """Level-0 baseline: read everything, rewrite the whole file.
 

@@ -537,6 +537,18 @@ class FooterView:
             fields.append(Field(name, LogicalType.parse(type_str)))
         return Schema(fields)
 
+    def schema_fingerprint(self) -> int:
+        """Order-sensitive 64-bit fingerprint of the physical layout.
+
+        Two files share a fingerprint iff they have the same physical
+        columns, in the same order, with the same types — the catalog's
+        manifest-level compatibility check for append/merge.
+        """
+        desc = ";".join(
+            f"{c.name}:{c.type}" for c in self.physical_columns()
+        )
+        return hash64(desc)
+
     def physical_columns(self) -> list[PhysicalColumn]:
         base, _ = self._sections[SEC_SCHEMA]
         pos = base

@@ -283,8 +283,17 @@ class BullionReader:
     def num_columns(self) -> int:
         return self.footer.num_columns
 
+    @property
+    def live_rows(self) -> int:
+        """Rows that survive deletion filtering (the manifest stat)."""
+        return self.footer.num_rows - self.footer.deleted_count()
+
     def schema(self) -> Schema:
         return self.footer.schema()
+
+    def schema_fingerprint(self) -> int:
+        """See :meth:`FooterView.schema_fingerprint`."""
+        return self.footer.schema_fingerprint()
 
     def column_names(self) -> list[str]:
         return [c.name for c in self.footer.physical_columns()]

@@ -10,16 +10,30 @@ Command-line usage (installed as the ``repro-inspect`` console script
 via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
 
     repro-inspect FILE [--max-columns N] [--no-verify]
+    repro-inspect catalog log DIR
+    repro-inspect catalog snapshot DIR ID
+    repro-inspect catalog files DIR [--snapshot ID]
 
 ``FILE`` is a Bullion file on the local filesystem, opened through
 :class:`~repro.iosim.FileStorage`. ``--max-columns`` caps the listed
 columns (default 20); ``--no-verify`` skips the Merkle checksum pass,
 which touches every page of large files.
+
+The ``catalog`` subcommands inspect a transactional table rooted at a
+directory (see :class:`~repro.catalog.DirectoryCatalogStore`):
+``log`` prints the retained snapshot history, ``snapshot`` dumps one
+snapshot's manifest (files, stats, summary), and ``files`` lists the
+data files a snapshot references — plus any orphans awaiting GC when
+run against HEAD. (The literal word ``catalog`` selects subcommand
+mode; a Bullion file actually named ``catalog`` is still inspectable
+as ``./catalog``.)
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
+import sys
 from dataclasses import dataclass, field
 
 from repro.core.page import PAGE_HEADER_SIZE, PageHeader
@@ -123,12 +137,137 @@ def describe(
     return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------------
+# catalog subcommands
+# ---------------------------------------------------------------------------
+
+def _fmt_ts(timestamp_ms: int) -> str:
+    return datetime.datetime.fromtimestamp(
+        timestamp_ms / 1000, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def describe_catalog_log(table) -> str:
+    """One line per retained snapshot, oldest first."""
+    lines = [
+        f"{'id':>6} {'parent':>6} {'timestamp (utc)':19} "
+        f"{'operation':16} {'files':>5} {'live rows':>10} {'bytes':>12}  summary"
+    ]
+    for snap in table.history():
+        summary = ", ".join(
+            f"{k}={v}" for k, v in sorted(snap.summary.items())
+        )
+        parent = "-" if snap.parent_id is None else str(snap.parent_id)
+        lines.append(
+            f"{snap.snapshot_id:>6} {parent:>6} {_fmt_ts(snap.timestamp_ms):19} "
+            f"{snap.operation[:16]:16} {len(snap.files):>5} "
+            f"{snap.live_rows:>10,} {snap.total_bytes:>12,}  {summary}"
+        )
+    return "\n".join(lines)
+
+
+def _file_table(files) -> list[str]:
+    lines = [
+        f"{'file id':24} {'rows':>10} {'deleted':>8} {'live':>10} "
+        f"{'bytes':>12}  schema"
+    ]
+    for f in files:
+        lines.append(
+            f"{f.file_id[:24]:24} {f.row_count:>10,} {f.deleted_count:>8,} "
+            f"{f.live_rows:>10,} {f.byte_size:>12,}  "
+            f"{f.schema_fingerprint:#018x}"
+        )
+    return lines
+
+
+def describe_catalog_snapshot(table, snapshot_id: int) -> str:
+    """One snapshot's manifest in full."""
+    snap = table.snapshot(snapshot_id)
+    parent = "-" if snap.parent_id is None else str(snap.parent_id)
+    lines = [
+        f"snapshot {snap.snapshot_id} (parent {parent}), "
+        f"operation: {snap.operation}, "
+        f"committed {_fmt_ts(snap.timestamp_ms)} UTC",
+        f"rows: {snap.total_rows:,} total, {snap.live_rows:,} live; "
+        f"files: {len(snap.files)}, bytes: {snap.total_bytes:,}",
+    ]
+    if snap.summary:
+        lines.append(
+            "summary: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(snap.summary.items()))
+        )
+    lines.append("")
+    lines.extend(_file_table(snap.files))
+    return "\n".join(lines)
+
+
+def describe_catalog_files(table, snapshot_id: int | None = None) -> str:
+    """Data files referenced by a snapshot; orphans flagged at HEAD."""
+    snap = (
+        table.current_snapshot()
+        if snapshot_id is None
+        else table.snapshot(snapshot_id)
+    )
+    lines = [f"data files of snapshot {snap.snapshot_id}:"]
+    lines.extend(_file_table(snap.files))
+    if snapshot_id is None:
+        referenced: set[str] = set()
+        for s in table.history():
+            referenced |= s.file_ids()
+        orphans = [
+            fid for fid in table.store.list_data() if fid not in referenced
+        ]
+        if orphans:
+            lines.append("")
+            lines.append(
+                f"orphans (no retained snapshot, awaiting GC): "
+                f"{', '.join(orphans)}"
+            )
+    return "\n".join(lines)
+
+
+def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.catalog import CatalogTable, DirectoryCatalogStore
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect catalog",
+        description="Inspect a transactional catalog table directory.",
+    )
+    commands = sub.add_subparsers(dest="command", required=True)
+    log_p = commands.add_parser("log", help="snapshot history")
+    log_p.add_argument("dir", help="table root directory")
+    snap_p = commands.add_parser("snapshot", help="one snapshot's manifest")
+    snap_p.add_argument("dir", help="table root directory")
+    snap_p.add_argument("id", type=int, help="snapshot id")
+    files_p = commands.add_parser("files", help="data files of a snapshot")
+    files_p.add_argument("dir", help="table root directory")
+    files_p.add_argument(
+        "--snapshot", type=int, default=None, metavar="ID",
+        help="snapshot to list (default: HEAD, with orphan detection)",
+    )
+    args = sub.parse_args(argv)
+    try:
+        table = CatalogTable(DirectoryCatalogStore(args.dir))
+        if args.command == "log":
+            print(describe_catalog_log(table))
+        elif args.command == "snapshot":
+            print(describe_catalog_snapshot(table, args.id))
+        else:
+            print(describe_catalog_files(table, args.snapshot))
+    except (OSError, ValueError, LookupError) as exc:
+        parser.exit(1, f"repro-inspect: {exc}\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Console entry point: inspect a Bullion file on disk."""
+    """Console entry point: inspect a Bullion file or catalog table."""
     parser = argparse.ArgumentParser(
         prog="repro-inspect",
         description="Describe the layout of a Bullion file.",
     )
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["catalog"]:
+        return _catalog_main(parser, raw[1:])
     parser.add_argument("file", help="path to a Bullion file")
     parser.add_argument(
         "--max-columns",
@@ -142,7 +281,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the Merkle checksum pass (reads every page)",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     try:
         with FileStorage(args.file, readonly=True) as storage:
             print(
