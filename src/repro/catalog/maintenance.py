@@ -17,16 +17,28 @@ Three job kinds:
 ``expire``    drop old snapshots beyond the retention policy, then
               delete data files no retained (or pinned, or
               mid-transaction) snapshot references
+
+Pins and in-flight staged files live in the :class:`CatalogTable`
+handle, not the store, so expiry only sees readers and open
+transactions on the *same* handle. When several processes write one
+``DirectoryCatalogStore``, run expiry in the writer process or set
+``MaintenancePolicy.gc_grace_ms`` above the longest transaction so GC
+never collects a file another process staged but has not committed yet.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.catalog.snapshot import Snapshot
 from repro.catalog.table import CatalogTable
-from repro.catalog.transaction import CommitConflict, data_file_entry
+from repro.catalog.transaction import (
+    CommitConflict,
+    close_storage,
+    data_file_entry,
+)
 from repro.core.compact import merge
 from repro.core.writer import WriterOptions
 
@@ -47,6 +59,12 @@ class MaintenancePolicy:
     keep_snapshots: int = 3
     #: additionally require expired snapshots to be older than this
     snapshot_ttl_ms: int | None = None
+    #: GC grace period: leave unreferenced data files whose last
+    #: modification is younger than this alone. Pins and in-flight
+    #: staged files are tracked per table handle, so when OTHER
+    #: processes write the same store, set this above the longest
+    #: transaction (or only run expiry in the writer process)
+    gc_grace_ms: int = 0
     #: writer options for rewritten files (None = defaults)
     writer_options: WriterOptions | None = None
 
@@ -166,7 +184,8 @@ class MaintenanceService:
     def _expirable_snapshots(self, head: Snapshot) -> list[Snapshot]:
         policy = self.policy
         history = self.table.history()
-        retained = {s.snapshot_id for s in history[-policy.keep_snapshots :]}
+        keep = history[-policy.keep_snapshots :] if policy.keep_snapshots else []
+        retained = {s.snapshot_id for s in keep}
         retained.add(head.snapshot_id)
         pinned = self.table.pinned_snapshot_ids()
         out = []
@@ -200,6 +219,12 @@ class MaintenanceService:
                 # a foreground writer won a race against this job; the
                 # next cycle re-plans from the new HEAD
                 report.skipped.append(f"{job.kind}: {exc}")
+            except Exception as exc:
+                # anything else (I/O error, a file expired by another
+                # process, ...) must not kill the background loop
+                report.skipped.append(
+                    f"{job.kind}: {type(exc).__name__}: {exc}"
+                )
         self.cycles += 1
         self.last_report = report
         return report
@@ -208,16 +233,21 @@ class MaintenanceService:
         self, job: MaintenanceJob, report: MaintenanceReport
     ) -> None:
         txn = self.table.transaction()
-        comp = txn.compact(
-            file_ids=list(job.file_ids), options=self.policy.writer_options
-        )
-        if comp.bytes_in == 0:  # inputs vanished under a racing commit
-            txn.abort()
-            report.skipped.append(
-                f"compact: inputs vanished ({job.file_ids})"
+        try:
+            comp = txn.compact(
+                file_ids=list(job.file_ids),
+                options=self.policy.writer_options,
             )
-            return
-        txn.commit()
+            if comp.bytes_in == 0:  # inputs vanished under a racing commit
+                txn.abort()
+                report.skipped.append(
+                    f"compact: inputs vanished ({job.file_ids})"
+                )
+                return
+            txn.commit()
+        except BaseException:
+            txn.abort()  # no-op after commit()'s own conflict abort
+            raise
         report.files_compacted += len(job.file_ids)
         report.bytes_reclaimed += comp.bytes_reclaimed
 
@@ -225,27 +255,37 @@ class MaintenanceService:
         self, job: MaintenanceJob, report: MaintenanceReport
     ) -> None:
         txn = self.table.transaction()
-        staged = {f.file_id for f in txn.staged_files()}
-        present = [fid for fid in job.file_ids if fid in staged]
-        if len(present) < self.policy.rollup_min_files:
-            txn.abort()
-            report.skipped.append(
-                f"rollup: inputs vanished before merge ({job.file_ids})"
+        try:
+            staged = {f.file_id for f in txn.staged_files()}
+            present = [fid for fid in job.file_ids if fid in staged]
+            if len(present) < self.policy.rollup_min_files:
+                txn.abort()
+                report.skipped.append(
+                    f"rollup: inputs vanished before merge ({job.file_ids})"
+                )
+                return
+            sources = [self.table.store.open_data(fid) for fid in present]
+            try:
+                new_id, target = txn.new_data_file()
+                comp = merge(
+                    sources, target, options=self.policy.writer_options
+                )
+            finally:
+                for source in sources:
+                    close_storage(source)
+            txn.replace_files(
+                removed_ids=present,
+                added=[data_file_entry(target, new_id)],
+                operation="rollup",
+                summary={
+                    "files_merged": len(sources),
+                    "bytes_reclaimed": comp.bytes_reclaimed,
+                },
             )
-            return
-        sources = [self.table.store.open_data(fid) for fid in present]
-        new_id, target = txn.new_data_file()
-        comp = merge(sources, target, options=self.policy.writer_options)
-        txn.replace_files(
-            removed_ids=present,
-            added=[data_file_entry(target, new_id)],
-            operation="rollup",
-            summary={
-                "files_merged": len(sources),
-                "bytes_reclaimed": comp.bytes_reclaimed,
-            },
-        )
-        txn.commit()
+            txn.commit()
+        except BaseException:
+            txn.abort()  # no-op after commit()'s own conflict abort
+            raise
         report.files_merged += len(sources)
         report.bytes_reclaimed += comp.bytes_reclaimed
 
@@ -254,11 +294,16 @@ class MaintenanceService:
     ) -> None:
         table = self.table
         store = table.store
-        # snapshot the orphan candidates BEFORE computing what is
-        # referenced: a file staged-and-committed after this listing
-        # is simply not a candidate this cycle, so a racing writer can
-        # never have its freshly committed file collected
+        policy = self.policy
+        # Read order is load-bearing. Candidates are listed first: a
+        # file staged-and-committed after this listing is simply not a
+        # candidate this cycle. Pins/in-flight files are read BEFORE
+        # the snapshot log: a racing transaction unregisters a staged
+        # file only after its commit published the snapshot, so a file
+        # missing from pinned_file_ids() is guaranteed to show up in
+        # the later history() read if HEAD references it.
         candidates = store.list_data()
+        referenced: set[str] = set(table.pinned_file_ids())
         for sid in job.snapshot_ids:
             # expire_snapshot re-checks pins under the table lock, so
             # a pin registered since the plan wins the race
@@ -266,16 +311,23 @@ class MaintenanceService:
                 report.snapshots_expired += 1
             else:
                 report.skipped.append(f"expire: snapshot {sid} is pinned")
-        # GC: a data file survives if any retained snapshot references
-        # it, a pinned reader holds it, or an open transaction staged it
-        referenced: set[str] = set()
+        # GC: a data file also survives if any retained snapshot
+        # references it
         for snap in table.history():
             referenced |= snap.file_ids()
-        referenced |= table.pinned_file_ids()
+        now_ms = time.time_ns() // 1_000_000
         for file_id in candidates:
             if file_id in referenced:
                 continue
             try:
+                if (
+                    policy.gc_grace_ms > 0
+                    and now_ms - store.data_mtime_ms(file_id)
+                    < policy.gc_grace_ms
+                ):
+                    # possibly staged by a writer in another process,
+                    # which this handle's in-flight set cannot see
+                    continue
                 report.bytes_reclaimed += store.data_size(file_id)
             except (FileNotFoundError, OSError):
                 continue  # already gone (aborted transaction cleanup)

@@ -26,9 +26,24 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from typing import Protocol, runtime_checkable
 
 from repro.iosim import FileStorage, SimulatedStorage, Storage
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory's entries to disk, where the platform allows."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows cannot open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # directory fsync is not universally supported
+    finally:
+        os.close(fd)
 
 
 @runtime_checkable
@@ -51,6 +66,10 @@ class CatalogStore(Protocol):
 
     def data_size(self, file_id: str) -> int: ...
 
+    def data_mtime_ms(self, file_id: str) -> int: ...
+
+    def sync_data(self) -> None: ...
+
     def delete_data(self, file_id: str) -> None: ...
 
     def list_data(self) -> list[str]: ...
@@ -71,6 +90,7 @@ class MemoryCatalogStore:
         self.name = name
         self._meta: dict[str, bytes] = {}
         self._data: dict[str, SimulatedStorage] = {}
+        self._mtimes_ms: dict[str, int] = {}
         self._ids = itertools.count()
         self._lock = threading.Lock()
 
@@ -108,6 +128,7 @@ class MemoryCatalogStore:
                 raise FileExistsError(f"data file {file_id!r} exists")
             storage = SimulatedStorage(file_id)
             self._data[file_id] = storage
+            self._mtimes_ms[file_id] = time.time_ns() // 1_000_000
             return storage
 
     def open_data(self, file_id: str) -> Storage:
@@ -120,9 +141,20 @@ class MemoryCatalogStore:
     def data_size(self, file_id: str) -> int:
         return self.open_data(file_id).size
 
+    def data_mtime_ms(self, file_id: str) -> int:
+        with self._lock:
+            try:
+                return self._mtimes_ms[file_id]
+            except KeyError:
+                raise FileNotFoundError(f"no data file {file_id!r}")
+
+    def sync_data(self) -> None:
+        pass  # memory is as durable as it gets
+
     def delete_data(self, file_id: str) -> None:
         with self._lock:
             self._data.pop(file_id, None)
+            self._mtimes_ms.pop(file_id, None)
 
     def list_data(self) -> list[str]:
         with self._lock:
@@ -162,16 +194,23 @@ class DirectoryCatalogStore:
                 f"{os.getpid()}-{threading.get_ident()}-{next(self._ids)}",
             )
         fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-        try:
-            os.write(fd, data)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        try:
-            os.link(tmp, os.path.join(self._snapdir, name))
+        try:  # the outer finally unlinks tmp on ANY exit, even a
+            # failed write/fsync — a crashed commit leaks nothing
+            try:
+                view = memoryview(data)
+                while view:  # os.write may write fewer bytes than asked
+                    view = view[os.write(fd, view) :]
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            try:
+                os.link(tmp, os.path.join(self._snapdir, name))
+            except FileExistsError:
+                return False
+            # the new directory entry must survive a crash too, not
+            # just the snapshot bytes
+            _fsync_dir(self._snapdir)
             return True
-        except FileExistsError:
-            return False
         finally:
             os.unlink(tmp)
 
@@ -194,7 +233,12 @@ class DirectoryCatalogStore:
 
     def new_file_id(self) -> str:
         with self._lock:
-            return f"f-{os.getpid():05d}-{next(self._ids):06d}"
+            # the counter restarts when a table directory is reopened
+            # (and pids recycle), so skip ids already on disk
+            while True:
+                fid = f"f-{os.getpid():05d}-{next(self._ids):06d}"
+                if not os.path.exists(self._data_path(fid)):
+                    return fid
 
     def create_data(self, file_id: str) -> Storage:
         path = self._data_path(file_id)
@@ -212,6 +256,12 @@ class DirectoryCatalogStore:
 
     def data_size(self, file_id: str) -> int:
         return os.path.getsize(self._data_path(file_id))
+
+    def data_mtime_ms(self, file_id: str) -> int:
+        return int(os.stat(self._data_path(file_id)).st_mtime * 1000)
+
+    def sync_data(self) -> None:
+        _fsync_dir(self._datadir)
 
     def delete_data(self, file_id: str) -> None:
         try:

@@ -180,10 +180,18 @@ class CatalogTable:
             self._snap_cache.pop(min(self._snap_cache))
 
     def current_snapshot(self) -> Snapshot:
-        ids = self._snapshot_ids()
-        if not ids:
-            raise FileNotFoundError("table has no snapshots")
-        return self.snapshot(ids[-1])
+        for _attempt in range(10):
+            ids = self._snapshot_ids()
+            if not ids:
+                raise FileNotFoundError("table has no snapshots")
+            try:
+                return self.snapshot(ids[-1])
+            except FileNotFoundError:
+                # ids[-1] was expired between listing and reading —
+                # only possible once a newer snapshot exists, so a
+                # re-listing converges on the new HEAD
+                continue
+        raise RuntimeError("could not read HEAD: expiry kept racing")
 
     def history(self) -> list[Snapshot]:
         """All retained snapshots, oldest first."""
@@ -297,9 +305,13 @@ class CatalogTable:
             # the snapshot may have been expired between resolving it
             # and registering the pin; expire_snapshot serializes on
             # the same lock, so a post-registration existence check
-            # closes the window (bypassing the snapshot cache)
-            if snapshot_name(snap.snapshot_id) in self.store.list_metadata():
+            # closes the window (bypassing the snapshot cache — one
+            # metadata read, not a full listing)
+            try:
+                self.store.read_metadata(snapshot_name(snap.snapshot_id))
                 return PinnedSnapshot(self, snap)
+            except FileNotFoundError:
+                pass
             self._unpin(snap.snapshot_id)
             if snapshot_id is not None:
                 raise LookupError(f"snapshot {snapshot_id} was expired")

@@ -15,7 +15,9 @@ Every mutation follows the same two-phase shape:
    it removes must still be live — if a conflicting committer already
    replaced one, the transaction aborts), and replays its edit on top.
    Pure appends always replay; delete/compact/rollup abort iff their
-   input files were concurrently compacted away.
+   input files were concurrently compacted away, and a delete also
+   aborts when files were appended concurrently (its predicate never
+   scanned their rows, so replaying could leave matches live).
 
 ``abort()`` (called automatically on conflict exhaustion or
 validation failure) deletes the staged data files so nothing leaks.
@@ -40,6 +42,17 @@ class CommitConflict(RuntimeError):
     """The transaction lost its race and could not be replayed."""
 
 
+def close_storage(storage: Storage) -> None:
+    """Release a storage's OS resources, if it holds any.
+
+    ``FileStorage`` keeps an fd open; the simulated backends hold
+    nothing and expose no ``close``.
+    """
+    close = getattr(storage, "close", None)
+    if close is not None:
+        close()
+
+
 def data_file_entry(storage: Storage, file_id: str) -> DataFile:
     """Manifest entry for a finished Bullion file, stats from its footer."""
     reader = BullionReader(storage)
@@ -62,6 +75,7 @@ class Transaction:
         self._added: list[DataFile] = []
         self._removed: set[str] = set()
         self._staged_ids: list[str] = []
+        self._staged_storages: list[Storage] = []
         self._ops: list[str] = []
         self._summary: dict = {}
         self._state = "open"  # open -> committed | aborted
@@ -82,10 +96,22 @@ class Transaction:
         """Allocate a staged data file (deleted again if we abort)."""
         self._require_open()
         file_id = self._store.new_file_id()
-        storage = self._store.create_data(file_id)
-        self._staged_ids.append(file_id)
+        # register BEFORE creating: GC lists its candidates from the
+        # store, so the file must be protected the moment it exists
         self._table._register_inflight(file_id)
+        try:
+            storage = self._store.create_data(file_id)
+        except BaseException:
+            self._table._unregister_inflight([file_id])
+            raise
+        self._staged_ids.append(file_id)
+        self._staged_storages.append(storage)
         return file_id, storage
+
+    def _close_staged(self) -> None:
+        for storage in self._staged_storages:
+            close_storage(storage)
+        self._staged_storages = []
 
     def add_file(self, storage: Storage, file_id: str) -> DataFile:
         """Stage a finished Bullion file written via :meth:`new_data_file`."""
@@ -176,28 +202,31 @@ class Transaction:
         total = 0
         for entry in self.staged_files():
             source = self._store.open_data(entry.file_id)
-            reader = BullionReader(source)
             try:
-                reader.footer.find_column(predicate.column)
-            except KeyError:
-                continue
-            values = np.asarray(
-                reader.project(
-                    [predicate.column], drop_deleted=False
-                ).column(predicate.column)
-            )
-            mask = np.ones(len(values), dtype=np.bool_)
-            if predicate.min_value is not None:
-                mask &= values >= predicate.min_value
-            if predicate.max_value is not None:
-                mask &= values <= predicate.max_value
-            mask &= ~reader.footer.deletion_bitmap()
-            rows = np.flatnonzero(mask)
-            if len(rows) == 0:
-                continue
-            new_id, copy = self.new_data_file()
-            copy.append(source.pread(0, source.size))
-            delete_rows(copy, rows)
+                reader = BullionReader(source)
+                try:
+                    reader.footer.find_column(predicate.column)
+                except KeyError:
+                    continue
+                values = np.asarray(
+                    reader.project(
+                        [predicate.column], drop_deleted=False
+                    ).column(predicate.column)
+                )
+                mask = np.ones(len(values), dtype=np.bool_)
+                if predicate.min_value is not None:
+                    mask &= values >= predicate.min_value
+                if predicate.max_value is not None:
+                    mask &= values <= predicate.max_value
+                mask &= ~reader.footer.deletion_bitmap()
+                rows = np.flatnonzero(mask)
+                if len(rows) == 0:
+                    continue
+                new_id, copy = self.new_data_file()
+                copy.append(source.pread(0, source.size))
+                delete_rows(copy, rows)
+            finally:
+                close_storage(source)
             if entry.file_id in {f.file_id for f in self._added}:
                 self._added = [
                     f for f in self._added if f.file_id != entry.file_id
@@ -206,8 +235,9 @@ class Transaction:
                 self._removed.add(entry.file_id)
             self._added.append(data_file_entry(copy, new_id))
             total += len(rows)
-        self._ops.append("delete")
-        self._bump("rows_deleted", total)
+        if total:  # zero matches stage nothing: no no-op snapshot
+            self._ops.append("delete")
+            self._bump("rows_deleted", total)
         return total
 
     def compact(
@@ -224,6 +254,7 @@ class Transaction:
         """
         self._require_open()
         rows_in = rows_out = bytes_in = bytes_out = 0
+        rewrote = False
         for entry in self.staged_files():
             if file_ids is not None and entry.file_id not in file_ids:
                 continue
@@ -233,9 +264,12 @@ class Transaction:
             ):
                 continue
             new_id, target = self.new_data_file()
-            report = compact_file(
-                self._store.open_data(entry.file_id), target, options=options
-            )
+            source = self._store.open_data(entry.file_id)
+            try:
+                report = compact_file(source, target, options=options)
+            finally:
+                close_storage(source)
+            rewrote = True
             if entry.file_id in {f.file_id for f in self._added}:
                 self._added = [
                     f for f in self._added if f.file_id != entry.file_id
@@ -250,8 +284,9 @@ class Transaction:
             rows_out += report.rows_out
             bytes_in += report.bytes_in
             bytes_out += report.bytes_out
-        self._ops.append("compact")
-        self._bump("bytes_reclaimed", bytes_in - bytes_out)
+        if rewrote:  # nothing to rewrite stages no no-op snapshot
+            self._ops.append("compact")
+            self._bump("bytes_reclaimed", bytes_in - bytes_out)
         return CompactionReport(
             rows_in=rows_in,
             rows_out=rows_out,
@@ -282,8 +317,16 @@ class Transaction:
     def commit(self, max_retries: int = 20) -> Snapshot:
         """Publish the staged edit as the next snapshot (CAS + retry)."""
         self._require_open()
-        if not self._ops:
+        if not self._ops and not self._added and not self._removed:
             raise ValueError("empty transaction: nothing staged")
+        # durability first: staged data must be on disk before the
+        # manifest that references it — put_metadata only makes the
+        # small snapshot JSON durable
+        for storage in self._staged_storages:
+            sync = getattr(storage, "sync", None)
+            if sync is not None:  # FileStorage; simulators need none
+                sync()
+        self._store.sync_data()
         table = self._table
         head = self._base
         for _attempt in range(max_retries + 1):
@@ -297,6 +340,22 @@ class Transaction:
                     f"files {sorted(gone)} were replaced by a concurrent "
                     f"commit; transaction aborted"
                 )
+            if "delete" in self._ops:
+                # a delete's predicate never scanned files appended
+                # after its base snapshot — replaying over them would
+                # silently leave matching rows live, so abort instead
+                unseen = (
+                    head_ids
+                    - self._base.file_ids()
+                    - {f.file_id for f in self._added}
+                )
+                if unseen:
+                    self.abort()
+                    raise CommitConflict(
+                        f"files {sorted(unseen)} were added concurrently; "
+                        f"a delete cannot replay without re-scanning them; "
+                        f"transaction aborted"
+                    )
             files = [
                 f for f in head.files if f.file_id not in self._removed
             ] + list(self._added)
@@ -304,7 +363,8 @@ class Transaction:
                 snapshot_id=head.snapshot_id + 1,
                 parent_id=head.snapshot_id,
                 timestamp_ms=table._next_timestamp_ms(head.timestamp_ms),
-                operation=",".join(dict.fromkeys(self._ops)),
+                # bare new_data_file()+add_file() staging records no op
+                operation=",".join(dict.fromkeys(self._ops)) or "add-files",
                 files=tuple(files),
                 summary=dict(self._summary),
             )
@@ -314,6 +374,7 @@ class Transaction:
                 self._state = "committed"
                 table._note_commit(snap)
                 table._unregister_inflight(self._staged_ids)
+                self._close_staged()  # readers re-open via open_data
                 # staged files superseded within this very transaction
                 # (e.g. delete-then-compact) are unreferenced: drop them
                 referenced = snap.file_ids()
@@ -331,6 +392,7 @@ class Transaction:
         if self._state != "open":
             return
         self._state = "aborted"
+        self._close_staged()
         for file_id in self._staged_ids:
             self._store.delete_data(file_id)
         self._table._unregister_inflight(self._staged_ids)

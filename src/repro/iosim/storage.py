@@ -87,6 +87,11 @@ class FileStorage:
             os.close(self._fd)
             self._closed = True
 
+    def sync(self) -> None:
+        """Flush written bytes to disk (fsync)."""
+        if not self._closed:
+            os.fsync(self._fd)
+
     def __enter__(self) -> "FileStorage":
         return self
 

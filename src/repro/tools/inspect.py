@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import datetime
+import os
 import sys
 from dataclasses import dataclass, field
 
@@ -247,6 +248,10 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
     )
     args = sub.parse_args(argv)
     try:
+        if not os.path.isdir(os.path.join(args.dir, "snapshots")):
+            # refuse before DirectoryCatalogStore mkdir-p's a tree at
+            # a mistyped path: inspection must not create directories
+            raise FileNotFoundError(f"no catalog table at {args.dir!r}")
         table = CatalogTable(DirectoryCatalogStore(args.dir))
         if args.command == "log":
             print(describe_catalog_log(table))

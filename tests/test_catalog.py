@@ -100,6 +100,23 @@ def test_empty_transaction_rejected(table):
         table.transaction().commit()
 
 
+def test_no_match_delete_and_compact_stage_nothing(table):
+    table.append(_table(0, 100), options=_opts())
+    txn = table.transaction()
+    assert txn.delete(Predicate("id", min_value=10**9)) == 0
+    assert txn.compact(min_deleted_fraction=0.9).bytes_in == 0
+    with pytest.raises(ValueError, match="empty transaction"):
+        txn.commit()  # nothing staged: no no-op snapshot in the log
+    txn.abort()
+    # in a multi-op transaction the empty mutations leave no trace
+    txn = table.transaction()
+    txn.append(_table(100, 100), options=_opts())
+    assert txn.delete(Predicate("id", min_value=10**9)) == 0
+    snap = txn.commit()
+    assert snap.operation == "append"
+    assert "rows_deleted" not in snap.summary
+
+
 def test_add_shards_commits_atomically(table):
     snap = table.add_shards(_table(0, 1000), rows_per_shard=256,
                             options=_opts())
@@ -160,6 +177,18 @@ def test_threaded_appends_no_lost_updates(table):
     for snap in table.history():
         for f in snap.files:
             assert BullionReader(table.store.open_data(f.file_id)).verify()
+
+
+def test_delete_aborts_when_files_appended_concurrently(table):
+    table.append(_table(0, 200), options=_opts())
+    txn = table.transaction()
+    assert txn.delete(Predicate("id", max_value=99)) == 100
+    # a racing append commits rows the delete's predicate never saw;
+    # replaying would leave them live, so the delete must abort
+    table.append(_table(0, 50), options=_opts())
+    with pytest.raises(CommitConflict, match="added concurrently"):
+        txn.commit()
+    assert table.current_snapshot().live_rows == 250
 
 
 def test_conflicting_replace_aborts_and_cleans_up(table):
@@ -310,6 +339,30 @@ def test_directory_store_roundtrip(tmp_path):
     assert np.array_equal(
         np.asarray(reopened.read(["id"]).column("id")), got
     )
+
+
+def test_directory_store_reopen_can_append(tmp_path):
+    """A fresh handle's file-id counter must skip ids already on disk."""
+    root = str(tmp_path / "tbl")
+    table = CatalogTable.create(DirectoryCatalogStore(root))
+    table.append(_table(0, 100), options=_opts())
+    reopened = CatalogTable(DirectoryCatalogStore(root))
+    reopened.append(_table(100, 100), options=_opts())
+    got = np.sort(np.asarray(reopened.read(["id"]).column("id")))
+    assert np.array_equal(got, np.arange(200))
+
+
+def test_direct_staging_path_commits(table):
+    """new_data_file()+add_file() alone is a committable transaction."""
+    from repro.core import BullionWriter
+
+    txn = table.transaction()
+    file_id, storage = txn.new_data_file()
+    BullionWriter(storage, options=_opts()).write(_table(0, 100))
+    txn.add_file(storage, file_id)
+    snap = txn.commit()
+    assert snap.operation == "add-files"
+    assert snap.live_rows == 100
 
 
 def test_directory_store_commit_cas(tmp_path):

@@ -64,6 +64,15 @@ def test_plan_flags_high_deleted_fraction_for_compaction(table):
     assert "40%" in compact_job.reason
 
 
+def test_keep_snapshots_zero_expires_all_but_head(table):
+    for i in range(3):
+        table.append(_table(i * 100, 100), options=_opts())
+    policy = MaintenancePolicy(keep_snapshots=0, writer_options=_opts())
+    jobs = MaintenanceService(table, policy).plan()
+    expire = next(j for j in jobs if j.kind == "expire")
+    assert set(expire.snapshot_ids) == {0, 1, 2}  # HEAD (3) survives
+
+
 def test_plan_respects_compaction_threshold(table):
     table.append(_table(0, 1000), options=_opts())
     table.delete(Predicate("id", max_value=99))  # only 10% deleted
@@ -140,6 +149,19 @@ def test_gc_refuses_files_held_by_pinned_reader(table):
     remaining = [s.snapshot_id for s in table.history()]
     assert pinned.snapshot.snapshot_id not in remaining
     assert not (pinned_files & set(table.store.list_data()))
+
+
+def test_gc_grace_period_spares_young_orphans(table):
+    """gc_grace_ms protects files staged by writers in other processes
+    (invisible to this handle's in-flight set): young orphans survive."""
+    for i in range(5):
+        table.append(_table(i * 100, 100), options=_opts())
+    orphan = table.store.new_file_id()
+    table.store.create_data(orphan)  # as if staged elsewhere
+    _service(table, gc_grace_ms=10 * 60 * 1000).run_once()
+    assert orphan in table.store.list_data()
+    _service(table).run_once()  # no grace: orphan is collected
+    assert orphan not in table.store.list_data()
 
 
 def test_gc_spares_files_staged_by_open_transactions(table):
