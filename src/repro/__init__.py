@@ -21,6 +21,11 @@ Subpackages
                         checksums, deletion compliance)
 ``repro.catalog``       transactional table catalog: snapshots, atomic
                         commits, time travel, background maintenance
+``repro.expr``          unified expression engine: predicate AST with
+                        vectorized, interval (pruning) and JSON
+                        evaluators, pushed down through catalog
+                        manifests, footer zone maps and decode-time
+                        filtering
 ``repro.encodings``     the Table 2 cascading encoding catalog
 ``repro.cascading``     sampling-based encoding selection (§2.6)
 ``repro.quantization``  storage quantization (§2.4, Fig 6)
@@ -38,6 +43,7 @@ from repro.core import (
     LogicalType,
     Predicate,
     Scan,
+    ScanStats,
     Schema,
     ShardedDataset,
     Table,
@@ -46,9 +52,10 @@ from repro.core import (
     rewrite_without_rows,
     write_table,
 )
+from repro.expr import Expr, col, parse
 from repro.iosim import FileStorage, LatencyModelledStorage, SimulatedStorage
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BullionReader",
@@ -62,7 +69,11 @@ __all__ = [
     "Field",
     "LogicalType",
     "Scan",
+    "ScanStats",
     "Predicate",
+    "Expr",
+    "col",
+    "parse",
     "ShardedDataset",
     "SimulatedStorage",
     "FileStorage",

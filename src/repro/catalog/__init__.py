@@ -30,6 +30,7 @@ from repro.catalog.maintenance import (
     MaintenanceService,
 )
 from repro.catalog.snapshot import (
+    ColumnStats,
     DataFile,
     Snapshot,
     parse_snapshot_name,
@@ -56,6 +57,7 @@ __all__ = [
     "data_file_entry",
     "Snapshot",
     "DataFile",
+    "ColumnStats",
     "snapshot_name",
     "parse_snapshot_name",
     "CatalogStore",

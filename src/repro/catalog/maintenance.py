@@ -8,8 +8,11 @@ jobs, and executes each as an ordinary transaction — so maintenance
 commits race (and retry) like any other writer and never blocks
 training readers, which hold pinned snapshots.
 
-Three job kinds:
+Four job kinds:
 
+``retention`` delete rows matching the policy's standing expression
+              (e.g. ``col("ts") < horizon``) through the same unified
+              evaluator and pushdown layers every scan and delete use
 ``rollup``    merge small incremental ingest files into
               training-sized ones via :func:`repro.core.merge`
 ``compact``   rewrite files whose deleted-row fraction crossed the
@@ -65,6 +68,12 @@ class MaintenancePolicy:
     #: processes write the same store, set this above the longest
     #: transaction (or only run expiry in the writer process)
     gc_grace_ms: int = 0
+    #: standing row-retention filter (:class:`repro.expr.Expr`):
+    #: every cycle deletes the rows it matches, using the same
+    #: evaluator and file/group pruning as ``scan(where=...)`` —
+    #: files whose manifest stats rule the filter out are untouched,
+    #: so a steady-state cycle plans no retention job at all
+    retention_filter: "object | None" = None
     #: writer options for rewritten files (None = defaults)
     writer_options: WriterOptions | None = None
 
@@ -90,6 +99,7 @@ class MaintenanceReport:
     bytes_reclaimed: int = 0
     snapshots_expired: int = 0
     data_files_deleted: int = 0
+    rows_deleted: int = 0
     skipped: list[str] = field(default_factory=list)
 
 
@@ -118,6 +128,27 @@ class MaintenanceService:
         policy = self.policy
         head = self.table.current_snapshot()
         jobs: list[MaintenanceJob] = []
+
+        if policy.retention_filter is not None:
+            # manifest-level pruning decides the candidate set: in the
+            # steady state (all expired rows already deleted) no file
+            # can match and no job is planned
+            matchable = [
+                f
+                for f in head.files
+                if f.live_rows and f.might_match(policy.retention_filter)
+            ]
+            if matchable:
+                jobs.append(
+                    MaintenanceJob(
+                        kind="retention",
+                        file_ids=tuple(f.file_id for f in matchable),
+                        reason=(
+                            f"{len(matchable)} files may hold rows "
+                            f"matching {policy.retention_filter!r}"
+                        ),
+                    )
+                )
 
         compactable = [
             f
@@ -208,7 +239,9 @@ class MaintenanceService:
         report.jobs_planned = len(jobs)
         for job in jobs:
             try:
-                if job.kind == "compact":
+                if job.kind == "retention":
+                    self._run_retention(job, report)
+                elif job.kind == "compact":
                     self._run_compact(job, report)
                 elif job.kind == "rollup":
                     self._run_rollup(job, report)
@@ -228,6 +261,23 @@ class MaintenanceService:
         self.cycles += 1
         self.last_report = report
         return report
+
+    def _run_retention(
+        self, job: MaintenanceJob, report: MaintenanceReport
+    ) -> None:
+        txn = self.table.transaction()
+        try:
+            deleted = txn.delete(self.policy.retention_filter)
+            if deleted == 0:
+                # stats said maybe, the exact evaluator said no —
+                # nothing staged, so commit would be a no-op snapshot
+                txn.abort()
+                return
+            txn.commit()
+        except BaseException:
+            txn.abort()  # no-op after commit()'s own conflict abort
+            raise
+        report.rows_deleted += deleted
 
     def _run_compact(
         self, job: MaintenanceJob, report: MaintenanceReport

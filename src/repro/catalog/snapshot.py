@@ -9,13 +9,50 @@ operation label plus summary counters for the log.
 Snapshots serialize to JSON — small, debuggable, and diffable; the
 heavy metadata (page/chunk indexes, Merkle trees, deletion vectors)
 stays in each file's binary footer where the paper puts it. The
-manifest only ever *names* files and caches their headline stats.
+manifest only ever *names* files and caches their headline stats —
+including, since the expression engine, per-column [min, max] so a
+``scan(where=...)`` can prune whole files without opening them.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+
+from repro.expr import Expr, Interval, interval_from_stats, might_match
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Manifest-level [min, max] of one column across a whole file.
+
+    ``kind`` carries what the interval evaluator needs to stay
+    conservative: ``"int"`` bounds may be float64-rounded beyond 2**53,
+    ``"float"`` bounds exclude NaN rows. Aggregated from the file's
+    footer chunk statistics by the writer at commit time.
+    """
+
+    min_value: float
+    max_value: float
+    kind: str  # "int" | "float"
+
+    def interval(self) -> Interval:
+        return interval_from_stats(self.min_value, self.max_value, self.kind)
+
+    def to_dict(self) -> dict:
+        return {
+            "min": self.min_value,
+            "max": self.max_value,
+            "kind": self.kind,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ColumnStats":
+        return ColumnStats(
+            min_value=float(d["min"]),
+            max_value=float(d["max"]),
+            kind=str(d["kind"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -27,6 +64,8 @@ class DataFile:
     deleted_count: int
     byte_size: int
     schema_fingerprint: int
+    #: per-column file-level [min, max]; None for pre-stats manifests
+    column_stats: "dict[str, ColumnStats] | None" = None
 
     @property
     def live_rows(self) -> int:
@@ -36,23 +75,54 @@ class DataFile:
     def deleted_fraction(self) -> float:
         return self.deleted_count / self.row_count if self.row_count else 0.0
 
+    def might_match(self, where: Expr) -> bool:
+        """Can any row of this file possibly satisfy ``where``?
+
+        Conservative manifest-level answer — the first pushdown layer,
+        decided without opening the file. Files without stats (older
+        manifests, statistics-free writers, stats-less columns) always
+        report True.
+        """
+        if self.column_stats is None:
+            return True
+        intervals = {
+            name: stats.interval()
+            for name, stats in self.column_stats.items()
+        }
+        return might_match(where, intervals)
+
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "file_id": self.file_id,
             "row_count": self.row_count,
             "deleted_count": self.deleted_count,
             "byte_size": self.byte_size,
             "schema_fingerprint": self.schema_fingerprint,
         }
+        if self.column_stats is not None:
+            doc["column_stats"] = {
+                name: stats.to_dict()
+                for name, stats in sorted(self.column_stats.items())
+            }
+        return doc
 
     @staticmethod
     def from_dict(d: dict) -> "DataFile":
+        raw_stats = d.get("column_stats")
         return DataFile(
             file_id=d["file_id"],
             row_count=int(d["row_count"]),
             deleted_count=int(d["deleted_count"]),
             byte_size=int(d["byte_size"]),
             schema_fingerprint=int(d["schema_fingerprint"]),
+            column_stats=(
+                None
+                if raw_stats is None
+                else {
+                    name: ColumnStats.from_dict(s)
+                    for name, s in raw_stats.items()
+                }
+            ),
         )
 
 

@@ -31,6 +31,7 @@ from repro.catalog.transaction import Transaction
 from repro.core.compact import CompactionReport
 from repro.core.dataset import LoaderOptions, TrainingDataLoader, rebatch
 from repro.core.reader import BullionReader, Predicate
+from repro.expr import Expr
 from repro.core.schema import Schema
 from repro.core.table import Table, concat_tables
 from repro.core.writer import WriterOptions
@@ -61,7 +62,9 @@ class PinnedSnapshot:
     def __init__(self, table: "CatalogTable", snapshot: Snapshot) -> None:
         self._table = table
         self.snapshot = snapshot
-        self._readers: list[BullionReader] | None = None
+        #: file_id -> open reader; populated lazily, and only for files
+        #: a scan actually needs (pruned files are never opened)
+        self._reader_cache: dict[str, BullionReader] = {}
         self._storages: list = []
         self._released = False
 
@@ -69,7 +72,7 @@ class PinnedSnapshot:
     def release(self) -> None:
         if not self._released:
             self._released = True
-            self._readers = None
+            self._reader_cache = {}
             for storage in self._storages:
                 close = getattr(storage, "close", None)
                 if close is not None:  # FileStorage holds an fd
@@ -84,24 +87,57 @@ class PinnedSnapshot:
         self.release()
 
     # -- reading --------------------------------------------------------
-    def readers(self) -> list[BullionReader]:
+    def _reader_for(self, file_id: str) -> BullionReader:
         if self._released:
             raise RuntimeError("pinned snapshot already released")
-        if self._readers is None:
-            store = self._table.store
-            self._storages = [
-                store.open_data(f.file_id) for f in self.snapshot.files
-            ]
-            self._readers = [BullionReader(s) for s in self._storages]
-        return self._readers
+        reader = self._reader_cache.get(file_id)
+        if reader is None:
+            storage = self._table.store.open_data(file_id)
+            self._storages.append(storage)
+            reader = BullionReader(storage)
+            self._reader_cache[file_id] = reader
+        return reader
+
+    def readers(self) -> list[BullionReader]:
+        return [self._reader_for(f.file_id) for f in self.snapshot.files]
+
+    def prune_files(self, where) -> tuple[list, list]:
+        """Split the snapshot's files into (kept, pruned) for ``where``.
+
+        Decided purely from manifest column statistics — the first
+        pushdown layer; pruned files are never opened. Conservative:
+        files without stats are always kept.
+        """
+        kept, pruned = [], []
+        for f in self.snapshot.files:
+            (kept if f.might_match(where) else pruned).append(f)
+        return kept, pruned
 
     def scan(self, columns: list[str], **scan_kwargs):
-        """Chained lazy scan over the pinned file set (one stream)."""
+        """Chained lazy scan over the pinned file set (one stream).
+
+        With ``where=`` the full pushdown applies: files are pruned
+        from manifest stats before any open, then each surviving
+        file's scan prunes row groups via zone maps and row-filters
+        decoded batches. Pass ``scan_stats=`` a shared
+        :class:`~repro.core.reader.ScanStats` to collect per-layer
+        skip counts across the whole read.
+        """
         batch_size = scan_kwargs.pop("batch_size", None)
+        where = scan_kwargs.get("where")
+        files = list(self.snapshot.files)
+        if where is not None:
+            files, pruned = self.prune_files(where)
+            stats = scan_kwargs.get("scan_stats")
+            if stats is not None:
+                stats.files_pruned += len(pruned)
+                stats.rows_pruned += sum(f.row_count for f in pruned)
         chunks = (
             batch
-            for reader in self.readers()
-            for batch in reader.scan(columns, **scan_kwargs)
+            for f in files
+            for batch in self._reader_for(f.file_id).scan(
+                columns, **scan_kwargs
+            )
         )
         if batch_size is None:
             yield from chunks
@@ -111,14 +147,56 @@ class PinnedSnapshot:
         yield from rebatch(chunks, batch_size)
 
     def read(self, columns: list[str], **scan_kwargs) -> Table:
-        """Eagerly materialize a projection of the pinned snapshot."""
-        return concat_tables(list(self.scan(columns, **scan_kwargs)))
+        """Eagerly materialize a projection of the pinned snapshot.
+
+        When every row is filtered (or every file pruned) the result
+        is still a correctly-typed empty table, derived from the first
+        file's footer — one metadata read, no chunk I/O.
+        """
+        tables = list(self.scan(columns, **scan_kwargs))
+        if tables:
+            return concat_tables(tables)
+        if not self.snapshot.files:
+            return Table({})
+        reader = self._reader_for(self.snapshot.files[0].file_id)
+        return reader.scan(
+            columns,
+            row_groups=[],
+            widen_quantized=scan_kwargs.get("widen_quantized", False),
+        ).to_table()
 
     def loader(
         self, columns: list[str], options: LoaderOptions | None = None
     ) -> TrainingDataLoader:
-        """A loader bound to this pin: every epoch sees the same rows."""
-        return TrainingDataLoader(self, columns, options)
+        """A loader bound to this pin: every epoch sees the same rows.
+
+        When ``options.where`` is set, manifest column statistics
+        prune files up front — the loader never opens a file the
+        interval evaluator rules out, and every epoch reuses the same
+        pruned set (zone maps and decode-time filtering then apply
+        inside each file's scan).
+        """
+        source: object = self
+        if options is not None and options.where is not None:
+            kept, _pruned = self.prune_files(options.where)
+            source = _PrunedFileSet(self, kept)
+        return TrainingDataLoader(source, columns, options)
+
+
+class _PrunedFileSet:
+    """Reader source over the subset of a pin's files a filter keeps.
+
+    Quacks like :class:`~repro.core.dataset.ShardedDataset` (exposes
+    ``readers()``); readers open lazily through the owning pin, so
+    manifest-pruned files are never touched.
+    """
+
+    def __init__(self, pinned: "PinnedSnapshot", files) -> None:
+        self._pinned = pinned
+        self._files = list(files)
+
+    def readers(self) -> list[BullionReader]:
+        return [self._pinned._reader_for(f.file_id) for f in self._files]
 
 
 class CatalogTable:
@@ -246,9 +324,20 @@ class CatalogTable:
         )
         return txn.commit()
 
-    def delete(self, predicate: Predicate) -> Snapshot:
+    def delete(self, predicate: "Expr | Predicate") -> Snapshot:
+        """Delete rows matching an expression (or legacy range).
+
+        Shares the scan path's evaluator and pushdown layers: the rows
+        removed are exactly the rows ``scan(where=predicate)`` would
+        have returned.
+        """
         txn = self.transaction()
-        if txn.delete(predicate) == 0:
+        try:
+            deleted = txn.delete(predicate)
+        except BaseException:
+            txn.abort()  # e.g. a typo'd filter column raised KeyError
+            raise
+        if deleted == 0:
             txn.abort()  # nothing matched: no no-op snapshot
             return self.current_snapshot()
         return txn.commit()

@@ -27,14 +27,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.catalog.snapshot import DataFile, Snapshot, snapshot_name
+from repro.catalog.snapshot import ColumnStats, DataFile, Snapshot, snapshot_name
 from repro.core.compact import CompactionReport, compact as compact_file
 from repro.core.dataset import ShardedDataset
 from repro.core.deletion import delete_rows
 from repro.core.reader import BullionReader, Predicate
-from repro.core.schema import Schema
+from repro.core.schema import Schema, stats_kind
 from repro.core.table import Table
 from repro.core.writer import BullionWriter, WriterOptions
+from repro.expr import Expr, as_expr, evaluate as evaluate_expr
 from repro.iosim import Storage
 
 
@@ -54,14 +55,32 @@ def close_storage(storage: Storage) -> None:
 
 
 def data_file_entry(storage: Storage, file_id: str) -> DataFile:
-    """Manifest entry for a finished Bullion file, stats from its footer."""
+    """Manifest entry for a finished Bullion file, stats from its footer.
+
+    Folds the footer's per-chunk zone maps into per-file column
+    [min, max] — the statistics ``CatalogTable.scan(where=...)`` uses
+    to prune whole files before opening them.
+    """
     reader = BullionReader(storage)
+    footer = reader.footer
+    column_stats: dict[str, ColumnStats] = {}
+    for col_idx, col in enumerate(footer.physical_columns()):
+        kind = stats_kind(col.type)
+        if kind is None:
+            continue
+        stats = footer.column_stats_range(col_idx)
+        if stats is None:
+            continue
+        column_stats[col.name] = ColumnStats(
+            stats.min_value, stats.max_value, kind
+        )
     return DataFile(
         file_id=file_id,
         row_count=reader.num_rows,
         deleted_count=reader.footer.deleted_count(),
         byte_size=storage.size,
         schema_fingerprint=reader.schema_fingerprint(),
+        column_stats=column_stats,
     )
 
 
@@ -189,8 +208,16 @@ class Transaction:
         self._bump("shards_added", len(entries))
         return entries
 
-    def delete(self, predicate: Predicate) -> int:
+    def delete(self, predicate: "Expr | Predicate") -> int:
         """Delete matching rows via copy-on-write + in-place scrub.
+
+        ``predicate`` is an expression (:mod:`repro.expr`) or a legacy
+        :class:`Predicate` range — both run through the same unified
+        evaluator the scan path uses, so ``delete(e)`` removes exactly
+        the rows ``scan(where=e)`` would return. The same pushdown
+        layers apply: files whose manifest stats can't match are
+        skipped unopened, row groups are pruned via footer zone maps,
+        and only surviving groups decode their filter columns.
 
         Each affected file is copied byte-for-byte to a new file and
         the §2.1 page-granular scrub (:func:`delete_rows`) runs on the
@@ -199,27 +226,45 @@ class Transaction:
         don't match are carried over untouched. Returns rows deleted.
         """
         self._require_open()
+        where = as_expr(predicate)
+        filter_columns = sorted(where.columns())
         total = 0
         for entry in self.staged_files():
+            if not entry.might_match(where):
+                continue  # manifest-level prune: file never opened
             source = self._store.open_data(entry.file_id)
             try:
                 reader = BullionReader(source)
-                try:
-                    reader.footer.find_column(predicate.column)
-                except KeyError:
-                    continue
-                values = np.asarray(
-                    reader.project(
-                        [predicate.column], drop_deleted=False
-                    ).column(predicate.column)
+                # a missing filter column raises, exactly like
+                # scan(where=...) — a typo'd name must not silently
+                # delete nothing
+                groups = reader.prune_row_groups_expr(where)
+                deleted_bitmap = None
+                rows_parts: list[np.ndarray] = []
+                for g in groups:
+                    batch = reader.project(
+                        filter_columns,
+                        drop_deleted=False,
+                        row_groups=[g],
+                        widen_quantized=True,
+                    )
+                    mask = evaluate_expr(where, batch.columns)
+                    if not mask.any():
+                        continue
+                    if deleted_bitmap is None:
+                        deleted_bitmap = reader.footer.deletion_bitmap()
+                    rg = reader.footer.row_group(g)
+                    live = ~deleted_bitmap[
+                        rg.row_start : rg.row_start + rg.n_rows
+                    ]
+                    rows_parts.append(
+                        rg.row_start + np.flatnonzero(mask & live)
+                    )
+                rows = (
+                    np.concatenate(rows_parts)
+                    if rows_parts
+                    else np.zeros(0, dtype=np.int64)
                 )
-                mask = np.ones(len(values), dtype=np.bool_)
-                if predicate.min_value is not None:
-                    mask &= values >= predicate.min_value
-                if predicate.max_value is not None:
-                    mask &= values <= predicate.max_value
-                mask &= ~reader.footer.deletion_bitmap()
-                rows = np.flatnonzero(mask)
                 if len(rows) == 0:
                     continue
                 new_id, copy = self.new_data_file()

@@ -22,6 +22,7 @@ from repro.core.reader import (
     ChunkCache,
     Predicate,
     Scan,
+    ScanStats,
 )
 from repro.core.schema import (
     BINARY,
@@ -68,6 +69,7 @@ __all__ = [
     "BullionFormatError",
     "BullionReader",
     "Scan",
+    "ScanStats",
     "Predicate",
     "ChunkCache",
     "Field",

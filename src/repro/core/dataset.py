@@ -44,6 +44,11 @@ class LoaderOptions:
     prefetch_batches: int = 0
     #: concurrent chunk fetches within each shard's scan
     scan_workers: int = 4
+    #: optional row filter (:class:`repro.expr.Expr`) applied with the
+    #: full pushdown: zone-map group pruning + exact decode-time
+    #: filtering, so a curriculum/quality filter skips I/O, not just
+    #: rows (batches still come out exactly ``batch_size`` long)
+    where: "object | None" = None
 
 
 class ShardedDataset:
@@ -214,6 +219,7 @@ class TrainingDataLoader:
                 yield from reader.scan(
                     self._columns,
                     row_groups=groups,
+                    where=opts.where,
                     widen_quantized=opts.widen_quantized,
                     max_workers=opts.scan_workers,
                 )

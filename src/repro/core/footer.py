@@ -469,6 +469,30 @@ class FooterView:
             return None
         return ChunkStats(min_value, max_value)
 
+    def column_stats_range(self, col_idx: int) -> "ChunkStats | None":
+        """File-level [min, max] of one column, folded over its chunks.
+
+        The aggregation writers publish into catalog manifests for
+        file-level pruning. Chunks without stats are skipped: for a
+        numeric column those are empty or all-NaN chunks, and NaN rows
+        are already outside every interval (the evaluator's
+        ``maybe_nan`` handles them). Returns ``None`` when no chunk
+        carries stats — such a file is never pruned.
+        """
+        found: ChunkStats | None = None
+        for g in range(self.num_row_groups):
+            stats = self.chunk_stats(col_idx, g)
+            if stats is None:
+                continue
+            if found is None:
+                found = stats
+            else:
+                found = ChunkStats(
+                    min(found.min_value, stats.min_value),
+                    max(found.max_value, stats.max_value),
+                )
+        return found
+
     # -- deletion vector ------------------------------------------------
     def deleted_count(self) -> int:
         base, _ = self._sections[SEC_DELVEC]

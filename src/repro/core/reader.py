@@ -8,14 +8,21 @@ property.
 
 Reads are built around :class:`Scan` — a lazy batch iterator that fuses
 
-* row-group pruning (footer min/max statistics via a :class:`Predicate`),
+* row-group pruning (footer zone maps — per-chunk min/max statistics —
+  under the conservative interval evaluator of :mod:`repro.expr`),
+* exact decode-time row filtering (``where=`` expressions evaluated
+  vectorized over decoded batches) with **late materialization**:
+  filter columns are fetched and decoded first, and the remaining
+  projected chunks are fetched only for row groups with surviving
+  rows,
 * column projection,
 * deletion-vector filtering,
 * §2.4 quantization widening,
 
 and fetches chunks concurrently through a ``ThreadPoolExecutor`` with a
 small per-reader LRU chunk cache. ``project()`` is the eager one-shot
-wrapper over a serial scan.
+wrapper over a serial scan. :class:`ScanStats` counts what each layer
+skipped (groups, rows, chunks).
 """
 
 from __future__ import annotations
@@ -30,9 +37,16 @@ import numpy as np
 
 from repro.core.footer import MAGIC, FooterView
 from repro.core.page import PAGE_HEADER_SIZE, PageHeader
-from repro.core.schema import Primitive, Schema, STORAGE_DTYPES
+from repro.core.schema import Primitive, Schema, STORAGE_DTYPES, stats_kind
 from repro.core.table import Table, concat_tables
 from repro.encodings import decode_blob
+from repro.expr import (
+    Expr,
+    as_expr,
+    evaluate as evaluate_expr,
+    interval_from_stats,
+    might_match,
+)
 from repro.iosim import Storage
 from repro.util.hashing import hash_bytes
 
@@ -45,17 +59,48 @@ class BullionFormatError(ValueError):
 
 @dataclass(frozen=True)
 class Predicate:
-    """Range predicate over one numeric column, for row-group pruning.
+    """Legacy single-column range — a thin constructor shim over the
+    expression AST (:mod:`repro.expr`).
 
-    Pruning is conservative and group-granular: kept groups may still
-    contain rows outside the range (exactly the semantics of
+    Kept for the original ``scan(predicate=...)`` surface, whose
+    semantics are *pruning only* and group-granular: kept groups may
+    still contain rows outside the range (exactly the semantics of
     ``prune_row_groups``), but groups whose footer min/max statistics
-    cannot satisfy the range are skipped with zero data I/O.
+    cannot satisfy the range are skipped with zero data I/O. For exact
+    row filtering pass ``where=`` instead — ``Predicate(c, lo, hi)``
+    is ``(col(c) >= lo) & (col(c) <= hi)`` with full row semantics.
     """
 
     column: str
     min_value: float | None = None
     max_value: float | None = None
+
+    def to_expr(self) -> Expr:
+        """The equivalent AST expression (inclusive range)."""
+        return as_expr(self)
+
+
+@dataclass
+class ScanStats:
+    """What each pushdown layer skipped, for one scan (or, when one
+    instance is shared across scans, a whole multi-file read).
+
+    Counters accumulate as the scan iterates; a scan consumed twice
+    counts twice. ``files_*`` are filled by the catalog layer, which
+    prunes whole files from manifest statistics before any open.
+    """
+
+    files_scanned: int = 0
+    files_pruned: int = 0
+    groups_total: int = 0    # candidate groups before zone-map pruning
+    groups_pruned: int = 0   # skipped via zone maps: zero data I/O
+    groups_scanned: int = 0  # filter columns fetched and decoded
+    groups_empty: int = 0    # scanned, zero matches: residual skipped
+    rows_pruned: int = 0     # rows inside zone-map-pruned groups
+    rows_scanned: int = 0    # rows whose filter columns were decoded
+    rows_matched: int = 0    # rows surviving the exact filter
+    chunks_fetched: int = 0
+    chunks_skipped: int = 0  # residual chunks never fetched
 
 
 class ChunkCache:
@@ -104,6 +149,13 @@ class Scan:
     ``prefetch_groups`` row groups ahead of the consumer are fetched
     concurrently by a thread pool (positional reads are independent),
     while decode and assembly stay on the consuming thread.
+
+    With a ``where=`` expression the scan is a two-layer skip machine:
+    row groups whose zone maps prove no row can match are dropped at
+    construction (zero data I/O, :attr:`stats` counts them), and kept
+    groups decode their *filter* columns first — the remaining
+    projected chunks are only fetched once at least one row survives
+    the exact vectorized mask (late materialization).
     """
 
     def __init__(
@@ -112,15 +164,18 @@ class Scan:
         columns: list[str],
         *,
         predicate: Predicate | None = None,
+        where: Expr | None = None,
         row_groups: list[int] | None = None,
         batch_size: int | None = None,
         drop_deleted: bool = True,
         widen_quantized: bool = False,
         max_workers: int = 4,
         prefetch_groups: int = 2,
+        scan_stats: ScanStats | None = None,
     ) -> None:
         self._reader = reader
         footer = reader.footer
+        self.stats = scan_stats if scan_stats is not None else ScanStats()
         #: (name, col_idx, ptype) resolved up front so bad names fail fast
         self._cols = []
         for name in columns:
@@ -132,12 +187,33 @@ class Scan:
             else list(row_groups)
         )
         if predicate is not None:
+            # legacy prune-only semantics: groups drop, rows never do
             kept = set(
                 reader.prune_row_groups(
                     predicate.column, predicate.min_value, predicate.max_value
                 )
             )
             groups = [g for g in groups if g in kept]
+        self._where = where
+        self._filter_cols: list[tuple[str, int, object]] = []
+        self.stats.files_scanned += 1
+        self.stats.groups_total += len(groups)
+        if where is not None:
+            for name in sorted(where.columns()):
+                col_idx = footer.find_column(name)
+                ptype = footer.column_type(col_idx)
+                if ptype.list_depth > 0:
+                    raise ValueError(
+                        f"cannot filter on list column {name!r}"
+                    )
+                self._filter_cols.append((name, col_idx, ptype))
+            kept = set(reader.prune_row_groups_expr(where))
+            pruned = [g for g in groups if g not in kept]
+            groups = [g for g in groups if g in kept]
+            self.stats.groups_pruned += len(pruned)
+            self.stats.rows_pruned += sum(
+                footer.row_group(g).n_rows for g in pruned
+            )
         self._groups = groups
         self._batch_size = batch_size
         self._widen = widen_quantized
@@ -180,17 +256,22 @@ class Scan:
             return Table({})
         tables = list(self._group_tables())
         if not tables:
-            # every group pruned away: empty, but correctly typed
-            return Table(
-                {
-                    name: _cast_to_storage(_concat([], ptype), ptype)
-                    for name, _idx, ptype in self._cols
-                }
-            )
+            # every group pruned (or filtered) away: empty, but typed
+            # exactly like a non-empty result — including widening
+            out = {}
+            for name, _idx, ptype in self._cols:
+                values = _cast_to_storage(_concat([], ptype), ptype)
+                if self._widen:
+                    values = _widen_quantized(values, ptype)
+                out[name] = values
+            return Table(out)
         return concat_tables(tables)
 
     # -- internals ------------------------------------------------------
     def _group_tables(self):
+        if self._where is not None:
+            yield from self._group_tables_filtered()
+            return
         groups = self._groups
         n_fetches = len(groups) * len(self._cols)
         if self._max_workers > 1 and n_fetches > 1:
@@ -201,7 +282,12 @@ class Scan:
                 self._reader._fetch_chunk(col_idx, g)
                 for _name, col_idx, _pt in self._cols
             ]
-            yield self._assemble(g, raws)
+            self.stats.chunks_fetched += len(raws)
+            self.stats.groups_scanned += 1
+            table = self._assemble(g, raws)
+            self.stats.rows_scanned += self._group_rows(g)
+            self.stats.rows_matched += table.num_rows
+            yield table
 
     def _group_tables_parallel(self):
         groups = self._groups
@@ -230,7 +316,143 @@ class Scan:
                     for pos in range(len(self._cols))
                 ]
                 submit_through(i + 2 + window)
-                yield self._assemble(g, raws)
+                self.stats.chunks_fetched += len(raws)
+                self.stats.groups_scanned += 1
+                table = self._assemble(g, raws)
+                self.stats.rows_scanned += self._group_rows(g)
+                self.stats.rows_matched += table.num_rows
+                yield table
+
+    # -- filtered iteration (where=...) ---------------------------------
+    def _group_tables_filtered(self):
+        """Late-materializing iteration: filter columns first.
+
+        Filter chunks of up to ``prefetch_groups`` groups ahead are
+        fetched through the pool; the remaining projected ("residual")
+        chunks of a group are only requested once its mask has
+        survivors, so a group filtered to nothing costs exactly its
+        filter chunks.
+        """
+        groups = self._groups
+        reader = self._reader
+        filter_cols = self._filter_cols
+        filter_names = {name for name, _idx, _pt in filter_cols}
+        residual = [
+            (pos, spec)
+            for pos, spec in enumerate(self._cols)
+            if spec[0] not in filter_names
+        ]
+        n_filter_fetches = len(groups) * len(filter_cols)
+        pool = (
+            ThreadPoolExecutor(max_workers=self._max_workers)
+            if self._max_workers > 1 and n_filter_fetches + len(residual) > 1
+            else None
+        )
+        try:
+            if pool is None:
+                for g in groups:
+                    raws = {
+                        name: reader._fetch_chunk(col_idx, g)
+                        for name, col_idx, _pt in filter_cols
+                    }
+                    table = self._filtered_group(g, raws, None)
+                    if table is not None:
+                        yield table
+                return
+            window = self._prefetch_groups
+            futures: dict[tuple[int, str], object] = {}
+            submitted = 0
+
+            def submit_through(limit: int) -> None:
+                nonlocal submitted
+                while submitted < min(limit, len(groups)):
+                    g = groups[submitted]
+                    for name, col_idx, _pt in filter_cols:
+                        futures[(submitted, name)] = pool.submit(
+                            reader._fetch_chunk, col_idx, g
+                        )
+                    submitted += 1
+
+            submit_through(1 + window)
+            for i, g in enumerate(groups):
+                raws = {
+                    name: futures.pop((i, name)).result()
+                    for name, _idx, _pt in filter_cols
+                }
+                submit_through(i + 2 + window)
+                table = self._filtered_group(g, raws, pool)
+                if table is not None:
+                    yield table
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    def _filtered_group(self, g: int, filter_raws: dict, pool) -> Table | None:
+        """Evaluate one group's mask; assemble only if rows survive."""
+        reader = self._reader
+        stats = self.stats
+        stats.chunks_fetched += len(filter_raws)
+        stats.groups_scanned += 1
+        n_rows = self._group_rows(g)
+        stats.rows_scanned += n_rows
+        # decode filter columns once, in storage representation
+        decoded: dict[str, object] = {}
+        for name, col_idx, ptype in self._filter_cols:
+            parts = reader._decode_chunk(filter_raws[name], col_idx, g)
+            decoded[name] = _cast_to_storage(_concat([parts], ptype), ptype)
+        # evaluate in the widened domain so quantized columns compare
+        # as floats, matching their (widened-domain) zone maps
+        eval_values = {
+            name: _widen_quantized(decoded[name], ptype)
+            for name, _idx, ptype in self._filter_cols
+        }
+        mask = evaluate_expr(self._where, eval_values)
+        if self._deleted is not None:
+            rg = reader.footer.row_group(g)
+            mask = mask & ~self._deleted[rg.row_start : rg.row_start + rg.n_rows]
+        if not mask.any():
+            residual = sum(
+                1 for name, _i, _p in self._cols if name not in decoded
+            )
+            stats.chunks_skipped += residual
+            stats.groups_empty += 1
+            return None
+        # fetch the residual projected chunks (only now — the point of
+        # late materialization)
+        raws: dict[str, bytes] = {}
+        to_fetch = [
+            (name, col_idx)
+            for name, col_idx, _pt in self._cols
+            if name not in decoded and name not in raws
+        ]
+        if pool is not None and len(to_fetch) > 1:
+            fetched = {
+                name: pool.submit(reader._fetch_chunk, col_idx, g)
+                for name, col_idx in to_fetch
+            }
+            raws = {name: f.result() for name, f in fetched.items()}
+        else:
+            raws = {
+                name: reader._fetch_chunk(col_idx, g)
+                for name, col_idx in to_fetch
+            }
+        stats.chunks_fetched += len(raws)
+        out: dict[str, object] = {}
+        for name, col_idx, ptype in self._cols:
+            if name in decoded:
+                values = decoded[name]
+            else:
+                parts = reader._decode_chunk(raws[name], col_idx, g)
+                values = _cast_to_storage(_concat([parts], ptype), ptype)
+            if self._widen:
+                values = _widen_quantized(values, ptype)
+            out[name] = values
+        table = Table(out).take_mask(mask) if out else Table({})
+        stats.rows_matched += table.num_rows
+        return table
+
+    def _group_rows(self, g: int) -> int:
+        return self._reader.footer.row_group(g).n_rows
 
     def _assemble(self, g: int, raws: list[bytes]) -> Table:
         reader = self._reader
@@ -307,29 +529,40 @@ class BullionReader:
         columns: list[str],
         *,
         predicate: Predicate | None = None,
+        where: Expr | None = None,
         row_groups: list[int] | None = None,
         batch_size: int | None = None,
         drop_deleted: bool = True,
         widen_quantized: bool = False,
         max_workers: int = 4,
         prefetch_groups: int = 2,
+        scan_stats: ScanStats | None = None,
     ) -> Scan:
         """Lazy batch iterator over a feature projection.
 
         ``batch_size=None`` yields one batch per row group; otherwise
         batches of exactly ``batch_size`` rows (last one may be short).
         ``max_workers <= 1`` forces serial chunk fetches.
+
+        ``where`` takes a :class:`repro.expr.Expr` (or a legacy
+        :class:`Predicate` via ``predicate=``, prune-only semantics)
+        and applies the full pushdown: zone-map row-group pruning plus
+        exact vectorized row filtering with late materialization.
+        Pass a shared :class:`ScanStats` as ``scan_stats`` to
+        aggregate skip counters across several scans.
         """
         return Scan(
             self,
             columns,
             predicate=predicate,
+            where=where,
             row_groups=row_groups,
             batch_size=batch_size,
             drop_deleted=drop_deleted,
             widen_quantized=widen_quantized,
             max_workers=max_workers,
             prefetch_groups=prefetch_groups,
+            scan_stats=scan_stats,
         )
 
     def project(
@@ -367,26 +600,50 @@ class BullionReader:
         min_value: float | None = None,
         max_value: float | None = None,
     ) -> list[int]:
-        """Row groups whose [min, max] stats may satisfy the predicate.
+        """Row groups whose [min, max] stats may satisfy the range.
 
-        Zero data I/O: answered entirely from the footer's stats
-        section. Groups without statistics are conservatively kept.
-        With quality-presorted files (§2.5) this is what turns a
-        quality-threshold scan into a prefix read.
+        The legacy single-column surface — now a shim over
+        :meth:`prune_row_groups_expr`, so range pruning and expression
+        pruning share one conservative interval evaluator. Zero data
+        I/O: answered entirely from the footer's stats section. Groups
+        without statistics are conservatively kept. With quality-
+        presorted files (§2.5) this is what turns a quality-threshold
+        scan into a prefix read.
+        """
+        if min_value is None and max_value is None:
+            self.footer.find_column(column)  # keep the KeyError contract
+            return list(range(self.footer.num_row_groups))
+        return self.prune_row_groups_expr(
+            Predicate(column, min_value, max_value).to_expr()
+        )
+
+    def prune_row_groups_expr(self, where: Expr) -> list[int]:
+        """Row groups the interval evaluator cannot rule out.
+
+        Evaluates ``where`` against each group's zone maps (chunk
+        min/max statistics) with the conservative tri-state semantics
+        of :mod:`repro.expr.interval`: missing stats, NaN bounds and
+        float64-rounded int64 bounds never prune. Zero data I/O.
         """
         footer = self.footer
-        col_idx = footer.find_column(column)
+        specs = []
+        for name in sorted(where.columns()):
+            col_idx = footer.find_column(name)
+            ptype = footer.column_type(col_idx)
+            specs.append((name, col_idx, stats_kind(ptype)))
         kept = []
         for g in range(footer.num_row_groups):
-            stats = footer.chunk_stats(col_idx, g)
-            if stats is None:
+            intervals = {}
+            for name, col_idx, kind in specs:
+                stats = footer.chunk_stats(col_idx, g)
+                if stats is None or kind is None:
+                    intervals[name] = None
+                else:
+                    intervals[name] = interval_from_stats(
+                        stats.min_value, stats.max_value, kind
+                    )
+            if might_match(where, intervals):
                 kept.append(g)
-                continue
-            if min_value is not None and stats.max_value < min_value:
-                continue
-            if max_value is not None and stats.min_value > max_value:
-                continue
-            kept.append(g)
         return kept
 
     def _fetch_chunk(self, col_idx: int, rg: int) -> bytes:

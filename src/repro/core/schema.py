@@ -76,6 +76,36 @@ STORAGE_DTYPES = {
 }
 
 
+#: primitives whose values are integer-valued (no NaN; float64 stats
+#: storage may round magnitudes beyond 2**53)
+_INT_KIND_PRIMS = frozenset(
+    {Primitive.INT64, Primitive.INT32, Primitive.INT16, Primitive.INT8,
+     Primitive.BOOL}
+)
+_FLOAT_KIND_PRIMS = frozenset(
+    {Primitive.FLOAT64, Primitive.FLOAT32, Primitive.FLOAT16,
+     Primitive.BFLOAT16, Primitive.FLOAT8_E4M3, Primitive.FLOAT8_E5M2}
+)
+
+
+def stats_kind(ptype: "PhysicalType") -> str | None:
+    """Interval-evaluation kind of a physical column's statistics.
+
+    ``"int"`` — integer-valued, NaN-free, but float64 stats storage may
+    have rounded bounds beyond 2**53; ``"float"`` — bounds are exact
+    stored values but NaN rows may exist outside them (quantized floats
+    included: their stats are collected in the widened float domain);
+    ``None`` — no statistics are collected (strings, binary, lists).
+    """
+    if ptype.list_depth > 0:
+        return None
+    if ptype.primitive in _INT_KIND_PRIMS:
+        return "int"
+    if ptype.primitive in _FLOAT_KIND_PRIMS:
+        return "float"
+    return None
+
+
 @dataclass(frozen=True)
 class LogicalType:
     """A type tree node: primitive, list<child> or struct<children>."""

@@ -411,7 +411,7 @@ class BullionWriter:
                 stats.encoded_payload_bytes_held -= len(payload)
                 del payload, framed  # nothing encoded survives the page
             chunk_stats = (
-                _numeric_chunk_stats(col_values)
+                _numeric_chunk_stats(_stats_domain(col_values, column))
                 if opts.collect_statistics
                 else None
             )
@@ -525,7 +525,15 @@ def _empty_values(column: PhysicalColumn):
 
 
 def _numeric_chunk_stats(values) -> ChunkStats | None:
-    """min/max of a numeric depth-0 slice (None for other kinds)."""
+    """min/max of a numeric depth-0 slice (None for other kinds).
+
+    Only NaN is excluded from float stats — ±inf values are ordered
+    and must widen the bounds, or a ``col >= t`` filter could prune a
+    group whose only match is ``inf`` (a wrong result, not a missed
+    skip). All-NaN and empty slices carry no stats; the interval
+    evaluator conservatively keeps such chunks, and treats every float
+    interval as possibly-NaN (stats never see NaN rows).
+    """
     if not isinstance(values, np.ndarray) or len(values) == 0:
         return None
     if values.dtype == np.bool_ or not (
@@ -534,11 +542,43 @@ def _numeric_chunk_stats(values) -> ChunkStats | None:
     ):
         return None
     if np.issubdtype(values.dtype, np.floating):
-        finite = values[np.isfinite(values)]
-        if len(finite) == 0:
+        comparable = values[~np.isnan(values)]
+        if len(comparable) == 0:
             return None
-        return ChunkStats(float(finite.min()), float(finite.max()))
+        return ChunkStats(float(comparable.min()), float(comparable.max()))
     return ChunkStats(float(values.min()), float(values.max()))
+
+
+#: §2.4 quantized primitives whose storage payload is NOT ordered like
+#: the values it encodes (uint16 bf16 bits, uint8 fp8 codes)
+_QUANTIZED_STATS_PRIMS = {
+    Primitive.FLOAT16: "FP16",
+    Primitive.BFLOAT16: "BF16",
+    Primitive.FLOAT8_E4M3: "FP8_E4M3",
+    Primitive.FLOAT8_E5M2: "FP8_E5M2",
+}
+
+
+def _stats_domain(values, column: PhysicalColumn):
+    """Values in the domain predicates compare in.
+
+    Quantized columns store bit payloads whose integer order disagrees
+    with float order (negative bf16 values sort above positive ones as
+    uint16), so zone maps over raw payloads would mis-prune. Stats are
+    therefore collected over the *widened* float values — exactly what
+    the decode-time vector evaluator sees.
+    """
+    prim = column.type.primitive
+    if (
+        column.type.list_depth != 0
+        or prim not in _QUANTIZED_STATS_PRIMS
+        or not isinstance(values, np.ndarray)
+        or len(values) == 0
+    ):
+        return values
+    from repro.quantization import FloatFormat, dequantize
+
+    return dequantize(values, FloatFormat[_QUANTIZED_STATS_PRIMS[prim]])
 
 
 def _logical_for(column: PhysicalColumn):

@@ -1,0 +1,126 @@
+"""Exact vectorized evaluation of an :class:`~repro.expr.Expr`.
+
+:func:`evaluate` maps an expression over decoded column batches — the
+third (and only exact) pushdown layer. Input is any mapping of column
+name to values in the reader's decoded kinds: numpy arrays for
+primitives, ``list[bytes]`` for string/binary columns. Output is a
+boolean numpy mask, one element per row.
+
+Semantics follow numpy/IEEE: comparisons against NaN are False (so a
+NaN row never satisfies ``<  <=  >  >=  ==``), while ``!=`` is True —
+exactly the semantics the conservative interval evaluator
+(:mod:`repro.expr.interval`) assumes when it decides a row group can
+be skipped without decoding.
+
+String columns store bytes; ``str`` literals are UTF-8-encoded before
+comparison so ``col("tag") == "ads"`` and ``== b"ads"`` agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.ast import And, Comparison, Expr, In, Not, Or
+
+_ORDERED_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+class VectorEvalError(TypeError):
+    """Expression cannot be evaluated over the given columns."""
+
+
+def evaluate(expr: Expr, columns) -> np.ndarray:
+    """Boolean mask of rows matching ``expr``.
+
+    ``columns`` maps column name -> decoded values (numpy array or
+    ``list[bytes]``); every column the expression references must be
+    present. Nested list columns are not filterable.
+    """
+    n_rows = None
+    for name in expr.columns():
+        if name not in columns:
+            raise KeyError(f"filter column {name!r} not in batch")
+        n = len(columns[name])
+        if n_rows is None:
+            n_rows = n
+    mask = _eval(expr, columns)
+    if n_rows is not None and len(mask) != n_rows:
+        raise VectorEvalError("evaluator produced a wrong-length mask")
+    return mask
+
+
+def _eval(expr: Expr, columns) -> np.ndarray:
+    if isinstance(expr, Comparison):
+        return _eval_comparison(expr, columns)
+    if isinstance(expr, In):
+        out = _compare(columns[expr.column], "==", expr.values[0])
+        for v in expr.values[1:]:
+            out |= _compare(columns[expr.column], "==", v)
+        return out
+    if isinstance(expr, And):
+        out = _eval(expr.args[0], columns)
+        for a in expr.args[1:]:
+            out &= _eval(a, columns)
+        return out
+    if isinstance(expr, Or):
+        out = _eval(expr.args[0], columns)
+        for a in expr.args[1:]:
+            out |= _eval(a, columns)
+        return out
+    if isinstance(expr, Not):
+        return ~_eval(expr.arg, columns)
+    raise VectorEvalError(f"cannot evaluate node {expr!r}")
+
+
+def _eval_comparison(expr: Comparison, columns) -> np.ndarray:
+    return _compare(columns[expr.column], expr.op, expr.value)
+
+
+def _compare(values, op: str, literal) -> np.ndarray:
+    values, literal = _align(values, op, literal)
+    if op == "==":
+        return np.asarray(values == literal, dtype=np.bool_)
+    if op == "!=":
+        return np.asarray(values != literal, dtype=np.bool_)
+    with np.errstate(invalid="ignore"):  # NaN comparisons are just False
+        return np.asarray(
+            _ORDERED_OPS[op](values, literal), dtype=np.bool_
+        )
+
+
+def _align(values, op: str, literal):
+    """Coerce column values and literal into one comparable domain."""
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise VectorEvalError("cannot filter on a nested column")
+        if isinstance(literal, (str, bytes)):
+            raise VectorEvalError(
+                f"cannot compare numeric column with {literal!r}"
+            )
+        if (
+            np.issubdtype(values.dtype, np.integer)
+            and isinstance(literal, float)
+            and not literal.is_integer()
+        ):
+            # int columns vs fractional literals: compare in float64
+            # explicitly (numpy would do this silently; spelled out so
+            # the 2^53 rounding caveat is a documented choice)
+            return values.astype(np.float64), literal
+        return values, literal
+    # list-kind column: bytes for string/binary, arrays for list<T>
+    if values and isinstance(values[0], np.ndarray):
+        raise VectorEvalError("cannot filter on a list<T> column")
+    if isinstance(literal, str):
+        literal = literal.encode("utf-8")
+    if not isinstance(literal, bytes):
+        raise VectorEvalError(
+            f"cannot compare string column with {literal!r}"
+        )
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr, literal

@@ -10,23 +10,31 @@ Command-line usage (installed as the ``repro-inspect`` console script
 via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
 
     repro-inspect FILE [--max-columns N] [--no-verify]
+    repro-inspect scan FILE --where EXPR [--columns A,B,...]
     repro-inspect catalog log DIR
     repro-inspect catalog snapshot DIR ID
-    repro-inspect catalog files DIR [--snapshot ID]
+    repro-inspect catalog files DIR [--snapshot ID] [--where EXPR]
 
 ``FILE`` is a Bullion file on the local filesystem, opened through
 :class:`~repro.iosim.FileStorage`. ``--max-columns`` caps the listed
 columns (default 20); ``--no-verify`` skips the Merkle checksum pass,
 which touches every page of large files.
 
+``scan`` dry-runs a filtered scan and reports what each pushdown
+layer skipped: row groups pruned from footer zone maps, rows filtered
+at decode time, residual chunks never fetched (late materialization).
+``EXPR`` uses the :mod:`repro.expr.parse` syntax, e.g.
+``"price > 100 and region in (3, 5)"``.
+
 The ``catalog`` subcommands inspect a transactional table rooted at a
 directory (see :class:`~repro.catalog.DirectoryCatalogStore`):
 ``log`` prints the retained snapshot history, ``snapshot`` dumps one
 snapshot's manifest (files, stats, summary), and ``files`` lists the
 data files a snapshot references — plus any orphans awaiting GC when
-run against HEAD. (The literal word ``catalog`` selects subcommand
-mode; a Bullion file actually named ``catalog`` is still inspectable
-as ``./catalog``.)
+run against HEAD, and with ``--where`` a kept/pruned verdict per file
+from the manifest column statistics alone (no file opens). (The
+literal words ``catalog``/``scan`` select subcommand mode; a Bullion
+file with one of those names is still inspectable as ``./scan``.)
 """
 
 from __future__ import annotations
@@ -139,6 +147,69 @@ def describe(
 
 
 # ---------------------------------------------------------------------------
+# filtered-scan subcommand (the pushdown-layer report)
+# ---------------------------------------------------------------------------
+
+def describe_scan(
+    storage: Storage, where, columns: list[str] | None = None
+) -> str:
+    """Run a filtered scan and report what every layer skipped."""
+    from repro.core.reader import ScanStats
+
+    reader = BullionReader(storage)
+    if columns is None:
+        columns = reader.column_names()
+    stats = ScanStats()
+    scan = reader.scan(columns, where=where, scan_stats=stats)
+    matched = sum(batch.num_rows for batch in scan)
+    total_groups = reader.footer.num_row_groups
+    lines = [
+        f"scan of {storage.name}: {len(columns)} columns, "
+        f"filter columns: {', '.join(sorted(where.columns()))}",
+        f"row groups: {total_groups} total, "
+        f"{stats.groups_pruned} pruned by zone maps, "
+        f"{stats.groups_scanned} scanned, "
+        f"{stats.groups_empty} matched nothing after decode",
+        f"rows: {stats.rows_pruned:,} pruned without I/O, "
+        f"{stats.rows_scanned:,} scanned, {matched:,} matched",
+        f"chunks: {stats.chunks_fetched:,} fetched, "
+        f"{stats.chunks_skipped:,} skipped by late materialization",
+    ]
+    return "\n".join(lines)
+
+
+def _scan_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.expr import parse as parse_expr
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect scan",
+        description="Report per-layer pushdown skipping for a filter.",
+    )
+    sub.add_argument("file", help="path to a Bullion file")
+    sub.add_argument(
+        "--where", required=True, metavar="EXPR",
+        help="filter expression, e.g. \"price > 100 and region in (3, 5)\"",
+    )
+    sub.add_argument(
+        "--columns", default=None, metavar="A,B,...",
+        help="projection (default: every column)",
+    )
+    args = sub.parse_args(argv)
+    try:
+        where = parse_expr(args.where)
+        columns = (
+            [c.strip() for c in args.columns.split(",") if c.strip()]
+            if args.columns is not None
+            else None
+        )
+        with FileStorage(args.file, readonly=True) as storage:
+            print(describe_scan(storage, where, columns))
+    except (OSError, ValueError, LookupError) as exc:
+        parser.exit(1, f"repro-inspect: {exc}\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # catalog subcommands
 # ---------------------------------------------------------------------------
 
@@ -202,15 +273,36 @@ def describe_catalog_snapshot(table, snapshot_id: int) -> str:
     return "\n".join(lines)
 
 
-def describe_catalog_files(table, snapshot_id: int | None = None) -> str:
-    """Data files referenced by a snapshot; orphans flagged at HEAD."""
+def describe_catalog_files(
+    table, snapshot_id: int | None = None, where=None
+) -> str:
+    """Data files referenced by a snapshot; orphans flagged at HEAD.
+
+    With ``where``, each file gets a kept/pruned verdict from its
+    manifest column statistics — the catalog pushdown layer, decided
+    without opening a single file.
+    """
     snap = (
         table.current_snapshot()
         if snapshot_id is None
         else table.snapshot(snapshot_id)
     )
     lines = [f"data files of snapshot {snap.snapshot_id}:"]
-    lines.extend(_file_table(snap.files))
+    if where is not None:
+        pruned = [f for f in snap.files if not f.might_match(where)]
+        lines[0] += (
+            f" (filter prunes {len(pruned)} of {len(snap.files)} files, "
+            f"{sum(f.row_count for f in pruned):,} rows, "
+            f"{sum(f.byte_size for f in pruned):,} bytes — "
+            f"manifest stats only, zero file opens)"
+        )
+        body = _file_table(snap.files)
+        lines.append(body[0] + "  verdict")
+        for f, row in zip(snap.files, body[1:]):
+            verdict = "scan" if f.might_match(where) else "PRUNED"
+            lines.append(f"{row}  {verdict}")
+    else:
+        lines.extend(_file_table(snap.files))
     if snapshot_id is None:
         referenced: set[str] = set()
         for s in table.history():
@@ -246,6 +338,10 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
         "--snapshot", type=int, default=None, metavar="ID",
         help="snapshot to list (default: HEAD, with orphan detection)",
     )
+    files_p.add_argument(
+        "--where", default=None, metavar="EXPR",
+        help="filter expression: report which files manifest stats prune",
+    )
     args = sub.parse_args(argv)
     try:
         if not os.path.isdir(os.path.join(args.dir, "snapshots")):
@@ -258,7 +354,12 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
         elif args.command == "snapshot":
             print(describe_catalog_snapshot(table, args.id))
         else:
-            print(describe_catalog_files(table, args.snapshot))
+            where = None
+            if getattr(args, "where", None) is not None:
+                from repro.expr import parse as parse_expr
+
+                where = parse_expr(args.where)
+            print(describe_catalog_files(table, args.snapshot, where=where))
     except (OSError, ValueError, LookupError) as exc:
         parser.exit(1, f"repro-inspect: {exc}\n")
     return 0
@@ -273,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw[:1] == ["catalog"]:
         return _catalog_main(parser, raw[1:])
+    if raw[:1] == ["scan"]:
+        return _scan_main(parser, raw[1:])
     parser.add_argument("file", help="path to a Bullion file")
     parser.add_argument(
         "--max-columns",
