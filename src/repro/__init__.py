@@ -26,6 +26,11 @@ Subpackages
                         evaluators, pushed down through catalog
                         manifests, footer zone maps and decode-time
                         filtering
+``repro.query``         vectorized aggregation engine
+                        (count/sum/min/max/mean, where, group-by)
+                        with metadata-only fast paths: provable
+                        extents answer from manifest/footer stats
+                        with zero data I/O
 ``repro.encodings``     the Table 2 cascading encoding catalog
 ``repro.cascading``     sampling-based encoding selection (§2.6)
 ``repro.quantization``  storage quantization (§2.4, Fig 6)

@@ -19,7 +19,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.expr import Expr, Interval, interval_from_stats, might_match
+from repro.expr import (
+    Expr,
+    Interval,
+    TriState,
+    evaluate_interval,
+    interval_from_stats,
+)
 
 
 @dataclass(frozen=True)
@@ -83,13 +89,24 @@ class DataFile:
         manifests, statistics-free writers, stats-less columns) always
         report True.
         """
+        return self.classify(where) is not TriState.NEVER
+
+    def classify(self, where: Expr) -> TriState:
+        """Tri-state manifest verdict for ``where`` over this file.
+
+        ``NEVER`` — provably no matching row (the file is prunable);
+        ``ALWAYS`` — provably every row matches, which lets the query
+        engine answer counts and extrema from the manifest alone;
+        ``MAYBE`` — open the file and let finer layers decide. Files
+        without statistics are always ``MAYBE``.
+        """
         if self.column_stats is None:
-            return True
+            return TriState.MAYBE
         intervals = {
             name: stats.interval()
             for name, stats in self.column_stats.items()
         }
-        return might_match(where, intervals)
+        return evaluate_interval(where, intervals)
 
     def to_dict(self) -> dict:
         doc = {

@@ -165,6 +165,39 @@ class PinnedSnapshot:
             widen_quantized=scan_kwargs.get("widen_quantized", False),
         ).to_table()
 
+    def query(
+        self,
+        aggregates,
+        *,
+        where: Expr | None = None,
+        group_by=None,
+        use_metadata: bool = True,
+        max_workers: int = 4,
+    ):
+        """Aggregate over the pinned file set (``repro.query``).
+
+        ``aggregates`` is a list of specs like ``"count"``,
+        ``"sum(clicks)"``, ``"min(price)"``. With ``use_metadata``
+        (the default) the engine answers whatever it can from manifest
+        and footer statistics — metadata-answerable queries on a
+        clean snapshot fetch **zero** data chunks, and files the
+        manifest fully proves are never even opened. Decode work fans
+        out one partial-aggregation task per file and merges in file
+        order, so results are bit-identical for any ``max_workers``.
+        Returns a :class:`repro.query.QueryResult`; its ``stats``
+        reports which answer path handled what.
+        """
+        from repro.query import aggregate_snapshot
+
+        return aggregate_snapshot(
+            self,
+            aggregates,
+            where=where,
+            group_by=group_by,
+            use_metadata=use_metadata,
+            max_workers=max_workers,
+        )
+
     def loader(
         self, columns: list[str], options: LoaderOptions | None = None
     ) -> TrainingDataLoader:
@@ -451,6 +484,18 @@ class CatalogTable:
     ) -> Table:
         with self.pin(snapshot_id=snapshot_id, as_of=as_of) as pinned:
             return pinned.read(columns, **scan_kwargs)
+
+    def query(
+        self,
+        aggregates,
+        snapshot_id: int | None = None,
+        as_of: int | None = None,
+        **query_kwargs,
+    ):
+        """Aggregate over a pinned snapshot (default HEAD); see
+        :meth:`PinnedSnapshot.query`."""
+        with self.pin(snapshot_id=snapshot_id, as_of=as_of) as pinned:
+            return pinned.query(aggregates, **query_kwargs)
 
     # -- transaction bookkeeping (called by Transaction) ----------------
     def _register_inflight(self, file_id: str) -> None:

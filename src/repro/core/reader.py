@@ -42,10 +42,11 @@ from repro.core.table import Table, concat_tables
 from repro.encodings import decode_blob
 from repro.expr import (
     Expr,
+    TriState,
     as_expr,
     evaluate as evaluate_expr,
+    evaluate_interval,
     interval_from_stats,
-    might_match,
 )
 from repro.iosim import Storage
 from repro.util.hashing import hash_bytes
@@ -625,13 +626,29 @@ class BullionReader:
         of :mod:`repro.expr.interval`: missing stats, NaN bounds and
         float64-rounded int64 bounds never prune. Zero data I/O.
         """
+        return [
+            g
+            for g, verdict in enumerate(self.classify_row_groups_expr(where))
+            if verdict is not TriState.NEVER
+        ]
+
+    def classify_row_groups_expr(self, where: Expr) -> "list[TriState]":
+        """Tri-state zone-map verdict for every row group, in order.
+
+        ``NEVER`` — no row of the group can match (pruned with zero
+        data I/O); ``ALWAYS`` — every row provably matches, which lets
+        the query engine answer counts and extrema from the group's
+        statistics alone; ``MAYBE`` — decode and let the vectorized
+        evaluator decide. Shares :meth:`prune_row_groups_expr`'s
+        conservative evaluator, so the two can never disagree.
+        """
         footer = self.footer
         specs = []
         for name in sorted(where.columns()):
             col_idx = footer.find_column(name)
             ptype = footer.column_type(col_idx)
             specs.append((name, col_idx, stats_kind(ptype)))
-        kept = []
+        verdicts = []
         for g in range(footer.num_row_groups):
             intervals = {}
             for name, col_idx, kind in specs:
@@ -642,9 +659,38 @@ class BullionReader:
                     intervals[name] = interval_from_stats(
                         stats.min_value, stats.max_value, kind
                     )
-            if might_match(where, intervals):
-                kept.append(g)
-        return kept
+            verdicts.append(evaluate_interval(where, intervals))
+        return verdicts
+
+    def aggregate(
+        self,
+        aggregates,
+        *,
+        where: Expr | None = None,
+        group_by=None,
+        use_metadata: bool = True,
+        max_workers: int = 4,
+    ):
+        """Run an aggregation query over this file (``repro.query``).
+
+        ``aggregates`` is a list of specs like ``"count"``,
+        ``"sum(clicks)"``, ``"min(price)"``. With ``use_metadata``
+        (the default), counts and extrema are answered from footer
+        statistics wherever the tri-state evaluator can prove them —
+        often with zero chunk fetches; ``use_metadata=False`` forces
+        the decode path. Returns a
+        :class:`repro.query.QueryResult`.
+        """
+        from repro.query import aggregate_reader
+
+        return aggregate_reader(
+            self,
+            aggregates,
+            where=where,
+            group_by=group_by,
+            use_metadata=use_metadata,
+            max_workers=max_workers,
+        )
 
     def _fetch_chunk(self, col_idx: int, rg: int) -> bytes:
         """One coalesced pread for a (column, row-group) extent."""

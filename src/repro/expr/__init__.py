@@ -45,6 +45,7 @@ from repro.expr.interval import (
     Interval,
     TriState,
     evaluate_interval,
+    int_bound_is_exact,
     interval_from_stats,
     might_match,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "TriState",
     "Interval",
     "interval_from_stats",
+    "int_bound_is_exact",
     "evaluate_interval",
     "might_match",
     "parse",

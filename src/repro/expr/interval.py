@@ -104,6 +104,19 @@ def _widen_int_bound(value: float, direction: int) -> tuple[float, bool]:
     return value + direction * math.ulp(value), False
 
 
+def int_bound_is_exact(value: float) -> bool:
+    """Is a float64-stored integer statistic guaranteed unrounded?
+
+    True only strictly below 2**53: the boundary itself is excluded
+    because a stored 2**53 may be the round-to-even image of 2**53+1.
+    Metadata consumers that need the *exact* value (the query engine's
+    ``min``/``max`` fast path) must refuse bounds this returns False
+    for; the pruning path instead widens them outward
+    (:func:`interval_from_stats`) and keeps going.
+    """
+    return abs(value) < _EXACT_INT_BOUND
+
+
 def interval_from_stats(
     min_value: float, max_value: float, kind: str
 ) -> Interval:

@@ -11,6 +11,8 @@ via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
 
     repro-inspect FILE [--max-columns N] [--no-verify]
     repro-inspect scan FILE --where EXPR [--columns A,B,...]
+    repro-inspect query DIR --agg SPECS [--where EXPR]
+                 [--group-by A,B,...] [--snapshot ID] [--no-metadata]
     repro-inspect catalog log DIR
     repro-inspect catalog snapshot DIR ID
     repro-inspect catalog files DIR [--snapshot ID] [--where EXPR]
@@ -26,6 +28,12 @@ at decode time, residual chunks never fetched (late materialization).
 ``EXPR`` uses the :mod:`repro.expr.parse` syntax, e.g.
 ``"price > 100 and region in (3, 5)"``.
 
+``query`` runs an aggregation (``repro.query``) over a catalog table
+directory: ``--agg "count, sum(clicks), min(price)"`` with optional
+``--where`` / ``--group-by``, reporting the result rows plus which
+answer path (manifest-only / footer-stats-only / decode) handled each
+file. ``--no-metadata`` forces the decode path for comparison.
+
 The ``catalog`` subcommands inspect a transactional table rooted at a
 directory (see :class:`~repro.catalog.DirectoryCatalogStore`):
 ``log`` prints the retained snapshot history, ``snapshot`` dumps one
@@ -33,8 +41,13 @@ snapshot's manifest (files, stats, summary), and ``files`` lists the
 data files a snapshot references — plus any orphans awaiting GC when
 run against HEAD, and with ``--where`` a kept/pruned verdict per file
 from the manifest column statistics alone (no file opens). (The
-literal words ``catalog``/``scan`` select subcommand mode; a Bullion
-file with one of those names is still inspectable as ``./scan``.)
+literal words ``catalog``/``scan``/``query`` select subcommand mode;
+a Bullion file with one of those names is still inspectable as
+``./scan``.)
+
+Exit status: 0 on success, 2 for a malformed or inapplicable
+expression/aggregate (one-line message, never a traceback), 1 for
+everything else (missing files, corrupt data, ...).
 """
 
 from __future__ import annotations
@@ -147,6 +160,40 @@ def describe(
 
 
 # ---------------------------------------------------------------------------
+# shared CLI plumbing
+# ---------------------------------------------------------------------------
+
+def _parse_where_arg(parser: argparse.ArgumentParser, text: str):
+    """Parse ``--where`` or exit 2 with a one-line message.
+
+    A malformed expression is a usage error, not a crash: report the
+    parser's own message on one line and exit with status 2 so shell
+    callers can tell "bad query" from "broken table" (status 1).
+    """
+    from repro.expr import ExprError, parse as parse_expr
+
+    try:
+        return parse_expr(text)
+    except ExprError as exc:
+        parser.exit(2, f"repro-inspect: invalid --where expression: {exc}\n")
+
+
+def _run_guarded(parser: argparse.ArgumentParser, fn) -> int:
+    """Run a subcommand body with the shared error-to-exit mapping."""
+    from repro.expr import ExprError, VectorEvalError
+    from repro.query import PlanError
+
+    try:
+        fn()
+    except (ExprError, PlanError, VectorEvalError) as exc:
+        # a well-formed table asked a malformed question: usage error
+        parser.exit(2, f"repro-inspect: {exc}\n")
+    except (OSError, ValueError, LookupError) as exc:
+        parser.exit(1, f"repro-inspect: {exc}\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # filtered-scan subcommand (the pushdown-layer report)
 # ---------------------------------------------------------------------------
 
@@ -179,8 +226,6 @@ def describe_scan(
 
 
 def _scan_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
-    from repro.expr import parse as parse_expr
-
     sub = argparse.ArgumentParser(
         prog="repro-inspect scan",
         description="Report per-layer pushdown skipping for a filter.",
@@ -195,18 +240,130 @@ def _scan_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
         help="projection (default: every column)",
     )
     args = sub.parse_args(argv)
-    try:
-        where = parse_expr(args.where)
-        columns = (
-            [c.strip() for c in args.columns.split(",") if c.strip()]
-            if args.columns is not None
-            else None
-        )
+    where = _parse_where_arg(parser, args.where)
+    columns = (
+        [c.strip() for c in args.columns.split(",") if c.strip()]
+        if args.columns is not None
+        else None
+    )
+
+    def run() -> None:
         with FileStorage(args.file, readonly=True) as storage:
             print(describe_scan(storage, where, columns))
-    except (OSError, ValueError, LookupError) as exc:
-        parser.exit(1, f"repro-inspect: {exc}\n")
-    return 0
+
+    return _run_guarded(parser, run)
+
+
+# ---------------------------------------------------------------------------
+# query subcommand (aggregation over a catalog table)
+# ---------------------------------------------------------------------------
+
+def _format_value(v) -> str:
+    if v is None:
+        return "null"
+    if isinstance(v, bytes):
+        return v.decode("utf-8", "backslashreplace")
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def describe_query(result) -> str:
+    """Aggregation rows plus the answer-path accounting."""
+    plan = result.plan
+    names = list(plan.group_by) + [a.name for a in plan.aggregates]
+    cells = [
+        [_format_value(row[name]) for name in names] for row in result.rows
+    ]
+    widths = [
+        max(len(name), *(len(r[i]) for r in cells)) if cells else len(name)
+        for i, name in enumerate(names)
+    ]
+    lines = [
+        "  ".join(name.rjust(w) for name, w in zip(names, widths)),
+    ]
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    stats = result.stats
+    lines += [
+        "",
+        f"answer paths: {stats.files_meta_answered} file(s) manifest-only, "
+        f"{stats.files_footer_answered} footer-stats-only, "
+        f"{stats.files_decoded} decoded, {stats.files_pruned} pruned "
+        f"(of {stats.files_total})",
+        f"rows from metadata: {stats.rows_from_metadata:,}; "
+        f"row groups metadata-answered: {stats.groups_meta_answered}; "
+        f"data chunks fetched: {stats.data_chunks_fetched:,}",
+    ]
+    return "\n".join(lines)
+
+
+def _query_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.catalog import CatalogTable, DirectoryCatalogStore
+    from repro.query import PlanError, as_aggregate
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect query",
+        description="Run an aggregation query over a catalog table.",
+    )
+    sub.add_argument("dir", help="table root directory")
+    sub.add_argument(
+        "--agg", required=True, metavar="SPECS",
+        help="comma-separated aggregates, e.g. "
+        "\"count, sum(clicks), min(price)\"",
+    )
+    sub.add_argument(
+        "--where", default=None, metavar="EXPR",
+        help="filter expression (repro.expr.parse syntax)",
+    )
+    sub.add_argument(
+        "--group-by", default=None, metavar="A,B,...",
+        help="grouping columns",
+    )
+    sub.add_argument(
+        "--snapshot", type=int, default=None, metavar="ID",
+        help="snapshot to query (default: HEAD)",
+    )
+    sub.add_argument(
+        "--no-metadata", action="store_true",
+        help="force the decode path (skip metadata fast paths)",
+    )
+    args = sub.parse_args(argv)
+    try:
+        aggregates = [
+            as_aggregate(part.strip())
+            for part in args.agg.split(",")
+            if part.strip()
+        ]
+        if not aggregates:
+            raise PlanError("--agg names no aggregates")
+    except PlanError as exc:
+        parser.exit(2, f"repro-inspect: invalid --agg: {exc}\n")
+    where = (
+        _parse_where_arg(parser, args.where)
+        if args.where is not None
+        else None
+    )
+    group_by = (
+        [c.strip() for c in args.group_by.split(",") if c.strip()]
+        if args.group_by is not None
+        else None
+    )
+
+    def run() -> None:
+        if not os.path.isdir(os.path.join(args.dir, "snapshots")):
+            raise FileNotFoundError(f"no catalog table at {args.dir!r}")
+        table = CatalogTable(DirectoryCatalogStore(args.dir))
+        result = table.query(
+            aggregates,
+            snapshot_id=args.snapshot,
+            where=where,
+            group_by=group_by,
+            use_metadata=not args.no_metadata,
+        )
+        print(describe_query(result))
+
+    return _run_guarded(parser, run)
 
 
 # ---------------------------------------------------------------------------
@@ -343,7 +500,11 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
         help="filter expression: report which files manifest stats prune",
     )
     args = sub.parse_args(argv)
-    try:
+    where = None
+    if getattr(args, "where", None) is not None:
+        where = _parse_where_arg(parser, args.where)
+
+    def run() -> None:
         if not os.path.isdir(os.path.join(args.dir, "snapshots")):
             # refuse before DirectoryCatalogStore mkdir-p's a tree at
             # a mistyped path: inspection must not create directories
@@ -354,15 +515,9 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
         elif args.command == "snapshot":
             print(describe_catalog_snapshot(table, args.id))
         else:
-            where = None
-            if getattr(args, "where", None) is not None:
-                from repro.expr import parse as parse_expr
-
-                where = parse_expr(args.where)
             print(describe_catalog_files(table, args.snapshot, where=where))
-    except (OSError, ValueError, LookupError) as exc:
-        parser.exit(1, f"repro-inspect: {exc}\n")
-    return 0
+
+    return _run_guarded(parser, run)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -376,6 +531,8 @@ def main(argv: list[str] | None = None) -> int:
         return _catalog_main(parser, raw[1:])
     if raw[:1] == ["scan"]:
         return _scan_main(parser, raw[1:])
+    if raw[:1] == ["query"]:
+        return _query_main(parser, raw[1:])
     parser.add_argument("file", help="path to a Bullion file")
     parser.add_argument(
         "--max-columns",

@@ -1,0 +1,181 @@
+"""CLI behavior of ``repro-inspect``: exit codes and error hygiene.
+
+A malformed ``--where`` / ``--agg`` is a *usage* error: the tool must
+exit with status 2 and a one-line ``repro-inspect:`` message — never a
+traceback. Environment problems (missing file, no catalog) stay
+status 1. The ``query`` subcommand's happy path is covered here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.catalog import CatalogTable, DirectoryCatalogStore
+from repro.core import BullionWriter, Table, WriterOptions
+from repro.iosim import FileStorage
+from repro.tools.inspect import main
+
+
+@pytest.fixture
+def bullion_file(tmp_path):
+    path = tmp_path / "data.bln"
+    with FileStorage(str(path)) as dev:
+        BullionWriter(
+            dev, options=WriterOptions(rows_per_page=10, rows_per_group=20)
+        ).write(Table({
+            "ts": np.arange(100, dtype=np.int64),
+            "v": np.linspace(0, 1, 100),
+        }))
+    return str(path)
+
+
+@pytest.fixture
+def catalog_dir(tmp_path):
+    root = tmp_path / "table"
+    cat = CatalogTable.create(DirectoryCatalogStore(str(root)))
+    for k in range(2):
+        cat.append(
+            Table({
+                "ts": np.arange(k * 100, (k + 1) * 100, dtype=np.int64),
+                "v": np.linspace(0, 1, 100),
+                "region": np.arange(100, dtype=np.int64) % 3,
+                "tag": [b"x"] * 100,
+            }),
+            options=WriterOptions(rows_per_page=20, rows_per_group=100),
+        )
+    return str(root)
+
+
+def _run(argv, capsys):
+    """Invoke main(); return (exit_code, stdout, stderr)."""
+    try:
+        code = main(argv)
+    except SystemExit as exc:
+        code = exc.code
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def _assert_usage_error(code, err):
+    assert code == 2
+    lines = [line for line in err.splitlines() if line]
+    assert len(lines) == 1, f"expected a one-line message, got {err!r}"
+    assert lines[0].startswith("repro-inspect:")
+    assert "Traceback" not in err
+
+
+class TestExpressionErrorsExitTwo:
+    def test_scan_parse_error(self, bullion_file, capsys):
+        code, _out, err = _run(
+            ["scan", bullion_file, "--where", "ts >>> 3"], capsys
+        )
+        _assert_usage_error(code, err)
+
+    def test_scan_unbalanced_paren(self, bullion_file, capsys):
+        code, _out, err = _run(
+            ["scan", bullion_file, "--where", "(ts > 3"], capsys
+        )
+        _assert_usage_error(code, err)
+
+    def test_scan_type_mismatch_expression(self, bullion_file, capsys):
+        # parses fine, but comparing a numeric column to a string can
+        # only be discovered during evaluation — still a usage error
+        code, _out, err = _run(
+            ["scan", bullion_file, "--where", "ts == 'abc'"], capsys
+        )
+        _assert_usage_error(code, err)
+
+    def test_catalog_files_parse_error(self, catalog_dir, capsys):
+        code, _out, err = _run(
+            ["catalog", "files", catalog_dir, "--where", "and and"],
+            capsys,
+        )
+        _assert_usage_error(code, err)
+
+    def test_query_parse_error(self, catalog_dir, capsys):
+        code, _out, err = _run(
+            ["query", catalog_dir, "--agg", "count", "--where", "v <"],
+            capsys,
+        )
+        _assert_usage_error(code, err)
+
+    def test_query_bad_aggregate(self, catalog_dir, capsys):
+        code, _out, err = _run(
+            ["query", catalog_dir, "--agg", "median(v)"], capsys
+        )
+        _assert_usage_error(code, err)
+
+    def test_query_inapplicable_aggregate(self, catalog_dir, capsys):
+        code, _out, err = _run(
+            ["query", catalog_dir, "--agg", "sum(tag)"], capsys
+        )
+        _assert_usage_error(code, err)
+
+
+class TestEnvironmentErrorsExitOne:
+    def test_scan_missing_file(self, tmp_path, capsys):
+        code, _out, err = _run(
+            ["scan", str(tmp_path / "absent"), "--where", "ts > 1"],
+            capsys,
+        )
+        assert code == 1
+        assert err.startswith("repro-inspect:")
+
+    def test_query_missing_table(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        code, _out, err = _run(
+            ["query", str(missing), "--agg", "count"], capsys
+        )
+        assert code == 1
+        assert "no catalog table" in err
+        assert not missing.exists(), "error path created directories"
+
+    def test_query_unknown_column_filter(self, catalog_dir, capsys):
+        code, _out, err = _run(
+            ["query", catalog_dir, "--agg", "count", "--where",
+             "absent > 1"],
+            capsys,
+        )
+        assert code == 1  # well-formed query, wrong for this table
+        assert err.startswith("repro-inspect:")
+
+
+class TestQueryHappyPath:
+    def test_global_aggregates(self, catalog_dir, capsys):
+        code, out, _err = _run(
+            ["query", catalog_dir, "--agg", "count, min(ts), max(ts)"],
+            capsys,
+        )
+        assert code == 0
+        assert "count(*)" in out and "200" in out
+        assert "manifest-only" in out
+        assert "data chunks fetched: 0" in out
+
+    def test_grouped_filtered(self, catalog_dir, capsys):
+        code, out, _err = _run(
+            ["query", catalog_dir, "--agg", "count,mean(v)",
+             "--group-by", "region", "--where", "ts < 150"],
+            capsys,
+        )
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].split() == ["region", "count(*)", "mean(v)"]
+        data_rows = [
+            l for l in lines[1:] if l.strip() and l.strip()[0].isdigit()
+        ]
+        assert len(data_rows) == 3  # regions 0, 1, 2
+
+    def test_no_metadata_flag(self, catalog_dir, capsys):
+        code, out, _err = _run(
+            ["query", catalog_dir, "--agg", "count", "--no-metadata"],
+            capsys,
+        )
+        assert code == 0
+        assert "0 file(s) manifest-only" in out
+
+    def test_snapshot_pinning(self, catalog_dir, capsys):
+        code, out, _err = _run(
+            ["query", catalog_dir, "--agg", "count", "--snapshot", "1"],
+            capsys,
+        )
+        assert code == 0
+        assert "100" in out
