@@ -1,0 +1,46 @@
+"""Codec kernel throughput scoreboard (CI smoke bench).
+
+Companion to ``bench_table2_encodings.py``: that bench reproduces the
+paper's compression-ratio table, this one tracks the *speed* of the
+vectorized encode/decode kernels so a regression in a hot loop shows up
+in CI rather than in a production scan. Two artifacts are published:
+
+* ``benchmarks/results/codecs.txt`` — the human-readable scoreboard;
+* ``BENCH_codecs.json`` (repo root) — the machine-readable trajectory
+  file (schema ``bench_codecs/v1``) for tooling to diff across commits.
+
+CI runs at ``CI_SCALE`` so the whole board stays a few seconds; local
+runs can pass a bigger scale through ``repro.tools.codec_bench.main``.
+"""
+
+import json
+import os
+
+from reporting import report
+
+from repro.tools.codec_bench import (
+    format_scoreboard,
+    run_scoreboard,
+    scoreboard_json,
+)
+
+CI_SCALE = float(os.environ.get("CODEC_BENCH_SCALE", "0.25"))
+CI_REPEATS = int(os.environ.get("CODEC_BENCH_REPEATS", "2"))
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_codecs.json")
+
+
+def test_codec_scoreboard():
+    results = run_scoreboard(scale=CI_SCALE, repeats=CI_REPEATS)
+    assert results, "scoreboard produced no rows"
+    # sanity floor: every cell must actually move data
+    for row in results:
+        assert row.encode_mb_s > 0 and row.decode_mb_s > 0, row
+        assert row.encoded_bytes > 0, row
+    report("codecs", format_scoreboard(results))
+    with open(JSON_PATH, "w") as f:
+        f.write(scoreboard_json(results) + "\n")
+    payload = json.loads(scoreboard_json(results))
+    assert payload["schema"] == "bench_codecs/v1"
+    assert len(payload["rows"]) == len(results)

@@ -53,7 +53,7 @@ from repro.encodings.roaring import Roaring
 from repro.encodings.trivial import Trivial
 from repro.encodings.varint_enc import Varint
 from repro.iosim import Storage
-from repro.util.bitio import set_packed_value
+from repro.util.bitio import set_packed_values
 from repro.util.hashing import combine_hashes, hash_bytes
 
 _TRIVIAL_TAG_INT = 0
@@ -127,8 +127,7 @@ def _mask_fixed_bit_width(payload: bytes, positions: np.ndarray, _prev) -> MaskR
     (count,) = struct.unpack_from("<Q", buf, 10)
     packed_off = 1 + 8 + 1 + 8
     packed = buf[packed_off:]
-    for idx in positions:
-        set_packed_value(packed, int(idx), width, 0)
+    set_packed_values(packed, positions, width, 0)
     buf[packed_off:] = packed
     return MaskResult(bytes(buf), count)
 
@@ -170,8 +169,7 @@ def _mask_dictionary(payload: bytes, positions: np.ndarray, _prev) -> MaskResult
         raise MaskError("mask code not representable at this bit width")
     packed_off = 1 + 8 + 1 + 8
     packed = buf[packed_off:]
-    for idx in positions:
-        set_packed_value(packed, int(idx), width, target)
+    set_packed_values(packed, positions, width, target)
     buf[packed_off:] = packed
     out = bytearray(payload)
     out[codes_off : codes_off + codes_len] = buf

@@ -33,6 +33,8 @@ LIST_FLOAT ``list[np.ndarray(float32/float64)]``
 from __future__ import annotations
 
 import enum
+import struct
+import zlib
 from abc import ABC, abstractmethod
 
 import numpy as np
@@ -191,11 +193,32 @@ def encode_blob(values, encoding: Encoding) -> bytes:
 
 
 def decode_blob(data: bytes):
-    """Decode a self-describing blob produced by :func:`encode_blob`."""
+    """Decode a self-describing blob produced by :func:`encode_blob`.
+
+    Decoders promise ``EncodingError`` (a ``ValueError``) on corrupt
+    input; the except clause converts the incidental exception types a
+    mangled payload can still trigger deep inside a kernel (bad index,
+    bogus struct field, absurd allocation size) so callers only ever
+    handle one failure type and never see a decoder crash class leak.
+    """
     if len(data) == 0:
         raise EncodingError("empty blob")
     cls = encoding_by_id(data[0])
-    return cls.decode(ByteReader(data, offset=1))
+    try:
+        return cls.decode(ByteReader(data, offset=1))
+    except EncodingError:
+        raise
+    except (
+        IndexError,
+        KeyError,
+        OverflowError,
+        struct.error,
+        zlib.error,
+        MemoryError,
+    ) as exc:
+        raise EncodingError(
+            f"corrupt {cls.name} blob: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def encode_child(writer: ByteWriter, values, encoding: Encoding) -> None:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.encodings.base import (
     Encoding,
+    EncodingError,
     Kind,
     as_int64,
     decode_child,
@@ -28,6 +29,7 @@ from repro.encodings.varint_enc import ZigZag
 from repro.util.bitio import (
     ByteReader,
     ByteWriter,
+    bit_lengths,
     min_bit_width,
     pack_bits,
     unpack_bits,
@@ -92,12 +94,43 @@ class FrameOfReference(Encoding):
         writer = ByteWriter()
         writer.write_u32(self._block_size)
         writer.write_u64(len(values))
-        n_blocks = (len(values) + self._block_size - 1) // self._block_size
+        bs = self._block_size
+        if bs == DEFAULT_FOR_BLOCK and len(values):
+            # whole-array path for the canonical 128-value blocks: block
+            # mins/maxes via one reshape (partial tail handled apart so
+            # padding can't leak into min), then one batch bit pack —
+            # byte-identical to the per-block loop below
+            from repro.encodings.fastpfor import _batch_pack
+
+            n = len(values)
+            n_blocks = (n + bs - 1) // bs
+            n_full = n // bs
+            bases = np.empty(n_blocks, dtype=np.int64)
+            if n_full:
+                bases[:n_full] = (
+                    values[: n_full * bs].reshape(-1, bs).min(axis=1)
+                )
+            if n_blocks > n_full:
+                bases[-1] = values[n_full * bs :].min()
+            block_id = np.arange(n, dtype=np.int64) >> 7
+            offsets = (values - bases[block_id]).astype(np.uint64)
+            widths64 = np.zeros(n_blocks, dtype=np.int64)
+            if n_full:
+                widths64[:n_full] = bit_lengths(
+                    offsets[: n_full * bs].reshape(-1, bs).max(axis=1)
+                )
+            if n_blocks > n_full:
+                widths64[-1] = int(offsets[n_full * bs :].max()).bit_length()
+            writer.write_array(bases)
+            writer.write_array(widths64.astype(np.uint8))
+            writer.write(_batch_pack(offsets, widths64, n))
+            return writer.getvalue()
+        n_blocks = (len(values) + bs - 1) // bs
         bases = np.empty(n_blocks, dtype=np.int64)
         widths = np.empty(n_blocks, dtype=np.uint8)
         packed_parts = []
         for b in range(n_blocks):
-            block = values[b * self._block_size : (b + 1) * self._block_size]
+            block = values[b * bs : (b + 1) * bs]
             base = int(block.min())
             offsets = (block - base).astype(np.uint64)
             width = min_bit_width(offsets)
@@ -116,9 +149,22 @@ class FrameOfReference(Encoding):
         count = reader.read_u64()
         if count == 0:
             return np.zeros(0, dtype=np.int64)
+        if block_size == 0:
+            raise EncodingError("for: zero block size")
         n_blocks = (count + block_size - 1) // block_size
         bases = reader.read_array(np.int64, n_blocks)
         widths = reader.read_array(np.uint8, n_blocks)
+        if block_size == DEFAULT_FOR_BLOCK:
+            from repro.encodings.fastpfor import _batch_unpack, _block_layout
+
+            widths64 = widths.astype(np.int64)
+            if int(widths64.max(initial=0)) > 64:
+                raise EncodingError("for: corrupt block width")
+            _n_per, block_bytes, _offs = _block_layout(count, widths64)
+            parts = reader.read(int(block_bytes.sum()))
+            offsets = _batch_unpack(parts, widths64, count)
+            block_id = np.arange(count, dtype=np.int64) >> 7
+            return offsets.astype(np.int64) + bases[block_id]
         out = np.empty(count, dtype=np.int64)
         for b in range(n_blocks):
             n = min(block_size, count - b * block_size)

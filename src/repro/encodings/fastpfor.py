@@ -11,7 +11,11 @@ Table 2 lists SIMDFastPFOR and SIMDFastBP128 [11]. The defining ideas:
 
 Substitution note (DESIGN.md): the SIMD intrinsics become numpy batch
 kernels — same algorithmic structure (miniblock widths, exception
-patching), batch-parallel inner loops in C via numpy.
+patching), batch-parallel inner loops in C via numpy. Both directions
+run whole-array: encode scatters every value's bits into one global
+bit buffer (per-block byte alignment falls out as zero padding), and
+decode gathers each value from a little-endian 64-bit window at its
+byte offset, so no per-block Python loop survives on either path.
 """
 
 from __future__ import annotations
@@ -27,14 +31,20 @@ from repro.encodings.base import (
 from repro.util.bitio import (
     ByteReader,
     ByteWriter,
-    min_bit_width,
+    bit_lengths,
+    le_bit_windows,
+    le_bit_windows32,
     pack_bits,
+    scatter_varwidth_lsb,
     unpack_bits,
 )
 
 MINIBLOCK = 128
 #: FastPFOR stores exceptions beyond this per-block quantile
 PATCH_QUANTILE = 0.90
+
+#: widest field a single little-endian 64-bit window read can straddle
+_MAX_WINDOW_WIDTH = 57
 
 
 def _require_unsigned(values) -> np.ndarray:
@@ -50,6 +60,115 @@ def _require_unsigned(values) -> np.ndarray:
     return arr.astype(np.uint64)
 
 
+def _block_matrix(arr: np.ndarray) -> np.ndarray:
+    """(n_blocks, MINIBLOCK) view of the input, zero-padded at the end."""
+    n_blocks = (len(arr) + MINIBLOCK - 1) // MINIBLOCK
+    padded = np.zeros(n_blocks * MINIBLOCK, dtype=np.uint64)
+    padded[: len(arr)] = arr
+    return padded.reshape(n_blocks, MINIBLOCK)
+
+
+def _block_layout(
+    count: int, widths64: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block value counts, packed byte sizes, and byte offsets."""
+    n_blocks = len(widths64)
+    n_per = np.full(n_blocks, MINIBLOCK, dtype=np.int64)
+    if n_blocks:
+        n_per[-1] = count - MINIBLOCK * (n_blocks - 1)
+    block_bytes = (widths64 * n_per + 7) // 8
+    offs = np.cumsum(block_bytes) - block_bytes
+    return n_per, block_bytes, offs
+
+
+def _batch_pack(stored: np.ndarray, widths64: np.ndarray, count: int) -> bytes:
+    """All blocks packed at once; equals per-block ``pack_bits``
+    concatenation (each block starts byte-aligned, padding bits zero)."""
+    n_per, block_bytes, offs = _block_layout(count, widths64)
+    if len(widths64) and int(widths64.max()) == int(widths64.min()):
+        # one shared width: full blocks occupy exactly 16*width bytes
+        # (byte-aligned), so the concatenation IS one uniform stream
+        return pack_bits(stored[:count], int(widths64[0]))
+    idx = np.arange(count, dtype=np.int64)
+    block_id = idx >> 7
+    w = widths64[block_id]
+    bit_starts = offs[block_id] * 8 + (idx & 127) * w
+    return scatter_varwidth_lsb(
+        stored[:count], w, bit_starts, int(block_bytes.sum())
+    )
+
+
+def _batch_unpack(
+    parts: bytes, widths64: np.ndarray, count: int
+) -> np.ndarray:
+    """Whole-array inverse of :func:`_batch_pack`.
+
+    Every value's bits live inside the 64-bit little-endian window at
+    its start byte whenever its width is <= 57, so the common case is a
+    single gather + shift + mask over all blocks at once, regardless of
+    how widths vary block to block.
+    """
+    n_per, block_bytes, offs = _block_layout(count, widths64)
+    max_w = int(widths64.max(initial=0))
+    total_bits = int(block_bytes.sum()) * 8
+    if max_w <= 57 and len(widths64) and max_w == int(widths64.min()):
+        # one shared width: full blocks pack to exactly 16*width bytes
+        # (byte-aligned), so the concatenated stream is a single uniform
+        # pack_bits stream and the phase-strided unpack applies whole
+        return unpack_bits(parts, max_w, count)
+    if max_w <= 25 and total_bits < (1 << 31):
+        # uint32 end to end: 32-bit windows, 32-bit index arithmetic
+        windows = le_bit_windows32(parts)
+        idx = np.arange(count, dtype=np.uint32)
+        block_id = idx >> np.uint32(7)
+        w = widths64.astype(np.uint32)[block_id]
+        bitpos = idx
+        bitpos &= np.uint32(127)
+        bitpos *= w
+        bitpos += (offs.astype(np.uint32) * np.uint32(8))[block_id]
+        vals = windows[bitpos >> np.uint32(3)]
+        bitpos &= np.uint32(7)
+        vals >>= bitpos
+        mask = np.left_shift(np.uint32(1), w)
+        mask -= np.uint32(1)
+        vals &= mask
+        return vals.astype(np.uint64)
+    if max_w <= _MAX_WINDOW_WIDTH:
+        windows = le_bit_windows(parts)
+        idx = np.arange(count, dtype=np.uint64)
+        block_id = (idx >> np.uint64(7)).astype(np.int64)
+        w = widths64.astype(np.uint64)[block_id]
+        bitpos = idx
+        bitpos &= np.uint64(127)
+        bitpos *= w
+        bitpos += (offs.astype(np.uint64) * np.uint64(8))[block_id]
+        vals = windows[(bitpos >> np.uint64(3)).astype(np.int64)]
+        bitpos &= np.uint64(7)
+        vals >>= bitpos
+        mask = np.left_shift(np.uint64(1), w)
+        mask -= np.uint64(1)
+        vals &= mask
+        return vals
+    out = np.empty(count, dtype=np.uint64)
+    for b in range(len(widths64)):
+        lo = b * MINIBLOCK
+        start = int(offs[b])
+        out[lo : lo + int(n_per[b])] = unpack_bits(
+            parts[start : start + int(block_bytes[b])],
+            int(widths64[b]),
+            int(n_per[b]),
+        )
+    return out
+
+
+def _read_widths(reader: ByteReader, n_blocks: int) -> np.ndarray:
+    widths = reader.read_array(np.uint8, n_blocks)
+    widths64 = widths.astype(np.int64)
+    if len(widths64) and int(widths64.max()) > 64:
+        raise EncodingError("corrupt block width (exceeds 64 bits)")
+    return widths64
+
+
 @register
 class FastBP128(Encoding):
     """Binary packing in 128-value miniblocks with per-block widths."""
@@ -62,17 +181,12 @@ class FastBP128(Encoding):
         arr = _require_unsigned(values)
         writer = ByteWriter()
         writer.write_u64(len(arr))
-        n_blocks = (len(arr) + MINIBLOCK - 1) // MINIBLOCK
-        widths = np.empty(n_blocks, dtype=np.uint8)
-        parts = []
-        for b in range(n_blocks):
-            block = arr[b * MINIBLOCK : (b + 1) * MINIBLOCK]
-            width = min_bit_width(block)
-            widths[b] = width
-            parts.append(pack_bits(block, width))
-        writer.write_array(widths)
-        for part in parts:
-            writer.write(part)
+        blocks = _block_matrix(arr)
+        widths64 = bit_lengths(blocks.max(axis=1)) if len(blocks) else (
+            np.zeros(0, dtype=np.int64)
+        )
+        writer.write_array(widths64.astype(np.uint8))
+        writer.write(_batch_pack(arr, widths64, len(arr)))
         return writer.getvalue()
 
     @classmethod
@@ -81,16 +195,10 @@ class FastBP128(Encoding):
         if count == 0:
             return np.zeros(0, dtype=np.int64)
         n_blocks = (count + MINIBLOCK - 1) // MINIBLOCK
-        widths = reader.read_array(np.uint8, n_blocks)
-        out = np.empty(count, dtype=np.uint64)
-        for b in range(n_blocks):
-            n = min(MINIBLOCK, count - b * MINIBLOCK)
-            width = int(widths[b])
-            n_bytes = (width * n + 7) // 8
-            out[b * MINIBLOCK : b * MINIBLOCK + n] = unpack_bits(
-                reader.read(n_bytes), width, n
-            )
-        return out.astype(np.int64)
+        widths64 = _read_widths(reader, n_blocks)
+        _n_per, block_bytes, _offs = _block_layout(count, widths64)
+        parts = reader.read(int(block_bytes.sum()))
+        return _batch_unpack(parts, widths64, count).astype(np.int64)
 
 
 @register
@@ -105,44 +213,42 @@ class FastPFOR(Encoding):
         arr = _require_unsigned(values)
         writer = ByteWriter()
         writer.write_u64(len(arr))
-        n_blocks = (len(arr) + MINIBLOCK - 1) // MINIBLOCK
-        widths = np.empty(n_blocks, dtype=np.uint8)
-        packed_parts = []
-        exc_positions: list[np.ndarray] = []
-        exc_values: list[np.ndarray] = []
-        for b in range(n_blocks):
-            block = arr[b * MINIBLOCK : (b + 1) * MINIBLOCK]
-            full_width = min_bit_width(block)
-            q_width = min_bit_width(
-                np.array(
-                    [np.quantile(block.astype(np.float64), PATCH_QUANTILE)]
-                ).astype(np.uint64)
+        count = len(arr)
+        blocks = _block_matrix(arr)
+        n_blocks = len(blocks)
+        full_w = bit_lengths(blocks.max(axis=1)) if n_blocks else (
+            np.zeros(0, dtype=np.int64)
+        )
+        # quantile widths: full blocks in one axis=1 call; a partial
+        # last block must go through the scalar path, because the
+        # zero padding in the block matrix would shift its quantile
+        q = np.zeros(n_blocks, dtype=np.float64)
+        n_full = count // MINIBLOCK
+        if n_full:
+            q[:n_full] = np.quantile(
+                blocks[:n_full].astype(np.float64), PATCH_QUANTILE, axis=1
             )
-            width = q_width if q_width < full_width else full_width
-            widths[b] = width
-            limit = (np.uint64(1) << np.uint64(width)) - np.uint64(1) if width else np.uint64(0)
-            is_exc = block > limit
-            stored = np.where(is_exc, np.uint64(0), block)
-            packed_parts.append(pack_bits(stored, width))
-            positions = np.flatnonzero(is_exc).astype(np.uint32)
-            exc_positions.append(positions + np.uint32(b * MINIBLOCK))
-            exc_values.append(block[is_exc])
-        writer.write_array(widths)
-        all_pos = (
-            np.concatenate(exc_positions)
-            if exc_positions
-            else np.zeros(0, dtype=np.uint32)
+        if n_blocks > n_full:
+            tail = arr[n_full * MINIBLOCK :]
+            q[n_full] = np.quantile(
+                tail.astype(np.float64), PATCH_QUANTILE
+            )
+        q_w = bit_lengths(q.astype(np.uint64))
+        widths64 = np.where(q_w < full_w, q_w, full_w)
+        limit = np.where(
+            widths64 > 0,
+            (np.uint64(1) << widths64.astype(np.uint64)) - np.uint64(1),
+            np.uint64(0),
         )
-        all_val = (
-            np.concatenate(exc_values)
-            if exc_values
-            else np.zeros(0, dtype=np.uint64)
-        )
+        is_exc = blocks > limit[:, None]  # padding zeros never exceed
+        stored = np.where(is_exc, np.uint64(0), blocks).reshape(-1)
+        all_pos = np.flatnonzero(is_exc.reshape(-1)).astype(np.uint32)
+        all_val = blocks.reshape(-1)[all_pos]
+        writer.write_array(widths64.astype(np.uint8))
         writer.write_u32(len(all_pos))
         writer.write_array(all_pos)
         writer.write_array(all_val)
-        for part in packed_parts:
-            writer.write(part)
+        writer.write(_batch_pack(stored, widths64, count))
         return writer.getvalue()
 
     @classmethod
@@ -151,18 +257,16 @@ class FastPFOR(Encoding):
         if count == 0:
             return np.zeros(0, dtype=np.int64)
         n_blocks = (count + MINIBLOCK - 1) // MINIBLOCK
-        widths = reader.read_array(np.uint8, n_blocks)
+        widths64 = _read_widths(reader, n_blocks)
         n_exc = reader.read_u32()
         exc_pos = reader.read_array(np.uint32, n_exc)
         exc_val = reader.read_array(np.uint64, n_exc)
-        out = np.empty(count, dtype=np.uint64)
-        for b in range(n_blocks):
-            n = min(MINIBLOCK, count - b * MINIBLOCK)
-            width = int(widths[b])
-            n_bytes = (width * n + 7) // 8
-            out[b * MINIBLOCK : b * MINIBLOCK + n] = unpack_bits(
-                reader.read(n_bytes), width, n
-            )
+        _n_per, block_bytes, _offs = _block_layout(count, widths64)
+        parts = reader.read(int(block_bytes.sum()))
+        out = _batch_unpack(parts, widths64, count)
         if n_exc:
-            out[exc_pos.astype(np.int64)] = exc_val
+            positions = exc_pos.astype(np.int64)
+            if int(positions.max()) >= count:
+                raise EncodingError("fastpfor: exception position out of range")
+            out[positions] = exc_val
         return out.astype(np.int64)

@@ -9,9 +9,12 @@ previous-window trick. We implement Gorilla faithfully and Chimp's
 leading-zero-table variant (its "chimp128" ring buffer is ablated in
 ``benchmarks/bench_cascading.py``).
 
-Bit streams are built with a simple append-only bit writer; values are
-processed through float64 bit patterns (float32 inputs are widened
-losslessly and narrowed back on decode).
+The XOR / leading-zero / trailing-zero analysis runs whole-array in
+numpy; only the (small) state machine that chooses each value's token
+shape stays scalar, and it emits (value, width) pairs that a single
+:func:`repro.util.bitio.pack_varwidth_msb` call turns into the bit
+stream. Decode walks precomputed 64-bit windows, so each token costs
+two list lookups regardless of its width.
 """
 
 from __future__ import annotations
@@ -20,64 +23,90 @@ import numpy as np
 
 from repro.encodings.base import (
     Encoding,
+    EncodingError,
     Kind,
     as_float,
     float_dtype_code,
     float_dtype_from_code,
     register,
 )
-from repro.util.bitio import ByteReader, ByteWriter
+from repro.util.bitio import (
+    ByteReader,
+    ByteWriter,
+    bit_lengths,
+    pack_varwidth_msb,
+)
 
-
-class _BitWriter:
-    """MSB-first bit appender used by the XOR codecs."""
-
-    def __init__(self) -> None:
-        self._bits: list[int] = []
-
-    def write_bit(self, bit: int) -> None:
-        self._bits.append(bit & 1)
-
-    def write_bits(self, value: int, width: int) -> None:
-        for shift in range(width - 1, -1, -1):
-            self._bits.append((value >> shift) & 1)
-
-    def getvalue(self) -> tuple[bytes, int]:
-        arr = np.array(self._bits, dtype=np.uint8)
-        return np.packbits(arr, bitorder="big").tobytes(), len(arr)
-
-
-class _BitReader:
-    """MSB-first bit consumer matching :class:`_BitWriter`."""
-
-    def __init__(self, data: bytes, total_bits: int) -> None:
-        self._bits = np.unpackbits(
-            np.frombuffer(data, dtype=np.uint8), bitorder="big"
-        )[:total_bits]
-        self._pos = 0
-
-    def read_bit(self) -> int:
-        bit = int(self._bits[self._pos])
-        self._pos += 1
-        return bit
-
-    def read_bits(self, width: int) -> int:
-        out = 0
-        for _ in range(width):
-            out = (out << 1) | self.read_bit()
-        return out
+_M64 = (1 << 64) - 1
 
 
 def _to_bits(values: np.ndarray) -> np.ndarray:
     return values.astype(np.float64).view(np.uint64)
 
 
-def _leading_zeros64(x: int) -> int:
-    return 64 - x.bit_length() if x else 64
+def _xor_lead_trail(bits: np.ndarray):
+    """Per-transition xor plus leading/trailing zero counts, whole-array.
+
+    The token state machines consume these one at a time; callers
+    ``.tolist()`` what they iterate (one bulk conversion beats ``count``
+    boxed ``int()`` calls).
+    """
+    xors = bits[:-1] ^ bits[1:]
+    lead = 64 - bit_lengths(xors)
+    low = xors & (~xors + np.uint64(1))
+    trail = bit_lengths(low) - 1
+    trail[xors == 0] = 64
+    return xors, lead, trail
 
 
-def _trailing_zeros64(x: int) -> int:
-    return (x & -x).bit_length() - 1 if x else 64
+def _emit(values: list[int], widths: list[int]) -> tuple[bytes, int]:
+    return pack_varwidth_msb(
+        np.array(values, dtype=np.uint64), np.array(widths, dtype=np.int64)
+    )
+
+
+def _msb_windows(data: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Big-endian 64-bit window at every byte offset, plus next bytes."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = len(raw) + 1
+    padded = np.zeros(n + 8, dtype=np.uint64)
+    padded[: len(raw)] = raw
+    win = np.zeros(n, dtype=np.uint64)
+    for k in range(8):
+        win |= padded[k : k + n] << np.uint64(8 * (7 - k))
+    return win, padded[8 : 8 + n]
+
+
+def _accumulate_xors(
+    win: np.ndarray,
+    nxt: np.ndarray,
+    first: int,
+    count: int,
+    idxs: list[int],
+    poss: list[int],
+    widths: list[int],
+    trails: list[int],
+) -> np.ndarray:
+    """Gather all payload fields whole-array and fold the XOR chain.
+
+    ``prev ^= xor`` per value means ``out[i]`` is the running XOR of
+    every field up to ``i`` — exactly ``np.bitwise_xor.accumulate`` —
+    so once the scalar parse has located each payload (bit position,
+    width, trailing shift), no per-value Python work remains.
+    """
+    xors = np.zeros(count, dtype=np.uint64)
+    xors[0] = first
+    if idxs:
+        p = np.array(poss, dtype=np.int64)
+        s = (p & 7).astype(np.uint64)
+        b = p >> 3
+        window = (win[b] << s) | (nxt[b] >> (np.uint64(8) - s))
+        w = np.array(widths, dtype=np.uint64)
+        t = np.array(trails, dtype=np.uint64)
+        xors[np.array(idxs, dtype=np.int64)] = (
+            window >> (np.uint64(64) - w)
+        ) << t
+    return np.bitwise_xor.accumulate(xors)
 
 
 @register
@@ -96,30 +125,37 @@ class Gorilla(Encoding):
         if len(values) == 0:
             return writer.getvalue()
         bits = _to_bits(values)
-        bw = _BitWriter()
-        bw.write_bits(int(bits[0]), 64)
-        prev = int(bits[0])
+        xors, leads, trails = (
+            a.tolist() for a in _xor_lead_trail(bits)
+        )
+        vals: list[int] = [int(bits[0])]
+        widths: list[int] = [64]
+        ap_v = vals.append
+        ap_w = widths.append
         prev_lead, prev_trail = 65, 65  # invalid -> first xor writes window
-        for raw in bits[1:]:
-            xor = prev ^ int(raw)
+        for j, xor in enumerate(xors):
             if xor == 0:
-                bw.write_bit(0)
+                ap_v(0)
+                ap_w(1)
+                continue
+            lead = leads[j]
+            if lead > 31:
+                lead = 31
+            trail = trails[j]
+            if lead >= prev_lead and trail >= prev_trail:
+                ap_v(2)  # bits '1','0': reuse the previous window
+                ap_w(2)
+                ap_v(xor >> prev_trail)
+                ap_w(64 - prev_lead - prev_trail)
             else:
-                bw.write_bit(1)
-                lead = min(_leading_zeros64(xor), 31)
-                trail = _trailing_zeros64(xor)
-                if lead >= prev_lead and trail >= prev_trail:
-                    bw.write_bit(0)
-                    bw.write_bits(xor >> prev_trail, 64 - prev_lead - prev_trail)
-                else:
-                    bw.write_bit(1)
-                    meaningful = 64 - lead - trail
-                    bw.write_bits(lead, 5)
-                    bw.write_bits(meaningful, 7)  # 7 bits: length can be 64
-                    bw.write_bits(xor >> trail, meaningful)
-                    prev_lead, prev_trail = lead, trail
-            prev = int(raw)
-        payload, n_bits = bw.getvalue()
+                meaningful = 64 - lead - trail
+                # '11' + 5-bit lead + 7-bit length, as one 14-bit field
+                ap_v((0b11 << 12) | (lead << 7) | meaningful)
+                ap_w(14)
+                ap_v(xor >> trail)
+                ap_w(meaningful)
+                prev_lead, prev_trail = lead, trail
+        payload, n_bits = _emit(vals, widths)
         writer.write_u64(n_bits)
         writer.write(payload)
         return writer.getvalue()
@@ -130,26 +166,63 @@ class Gorilla(Encoding):
         count = reader.read_u64()
         if count == 0:
             return np.zeros(0, dtype=dtype)
-        n_bits = reader.read_u64()
-        br = _BitReader(reader.read((n_bits + 7) // 8), n_bits)
-        out = np.empty(count, dtype=np.uint64)
-        prev = br.read_bits(64)
-        out[0] = prev
+        total = reader.read_u64()
+        payload = reader.read((total + 7) // 8)
+        if total < 64:
+            raise EncodingError("gorilla: truncated bit stream")
+        win_np, nxt_np = _msb_windows(payload)
+        win = win_np.tolist()
+        nxt = nxt_np.tolist()
+        pos = 64
         lead, trail = 65, 65
+        idxs: list[int] = []
+        poss: list[int] = []
+        widths: list[int] = []
+        trails: list[int] = []
         for i in range(1, count):
-            if br.read_bit() == 0:
-                out[i] = prev
-                continue
-            if br.read_bit() == 0:
-                meaningful = 64 - lead - trail
-                xor = br.read_bits(meaningful) << trail
+            if pos >= total:
+                raise EncodingError("gorilla: truncated bit stream")
+            byte_idx = pos >> 3
+            shift = pos & 7
+            if shift:
+                window = ((win[byte_idx] << shift) & _M64) | (
+                    nxt[byte_idx] >> (8 - shift)
+                )
             else:
-                lead = br.read_bits(5)
-                meaningful = br.read_bits(7)
+                window = win[byte_idx]
+            if not window >> 63:
+                pos += 1
+                continue
+            if window >> 62 == 0b10:
+                pos += 2
+                meaningful = 64 - lead - trail
+                if meaningful <= 0:
+                    # corrupt stream reusing the initial (invalid)
+                    # window; the scalar reference read zero bits here
+                    continue
+            else:
+                pos += 2
+                if pos + 12 > total:
+                    raise EncodingError("gorilla: truncated bit stream")
+                # lead(5) + length(7) sit inside the same 64-bit window
+                header = (window >> 50) & 0xFFF
+                lead = header >> 7
+                meaningful = header & 0x7F
                 trail = 64 - lead - meaningful
-                xor = br.read_bits(meaningful) << trail
-            prev ^= xor
-            out[i] = prev
+                pos += 12
+                if trail < 0:
+                    raise EncodingError("gorilla: corrupt meaningful length")
+            if pos + meaningful > total:
+                raise EncodingError("gorilla: truncated bit stream")
+            if meaningful:
+                idxs.append(i)
+                poss.append(pos)
+                widths.append(meaningful)
+                trails.append(trail)
+                pos += meaningful
+        out = _accumulate_xors(
+            win_np, nxt_np, win[0], count, idxs, poss, widths, trails
+        )
         return out.view(np.float64).astype(dtype)
 
 
@@ -188,35 +261,47 @@ class Chimp(Encoding):
         if len(values) == 0:
             return writer.getvalue()
         bits = _to_bits(values)
-        bw = _BitWriter()
-        bw.write_bits(int(bits[0]), 64)
-        prev = int(bits[0])
-        prev_lead_class = -1
-        for raw in bits[1:]:
-            xor = prev ^ int(raw)
+        xors_np, lead_np, trail_np = _xor_lead_trail(bits)
+        # leading-zero class per transition, whole-array
+        class_idx = (
+            np.searchsorted(_CHIMP_LEAD_ROUND, lead_np, side="right") - 1
+        ).tolist()
+        xors = xors_np.tolist()
+        trails = trail_np.tolist()
+        vals: list[int] = [int(bits[0])]
+        widths: list[int] = [64]
+        ap_v = vals.append
+        ap_w = widths.append
+        prev_class = -1
+        for j, xor in enumerate(xors):
             if xor == 0:
-                bw.write_bits(0b00, 2)
+                ap_v(0b00)
+                ap_w(2)
+                continue
+            idx = class_idx[j]
+            lead_class = _CHIMP_LEAD_ROUND[idx]
+            trail = trails[j]
+            if trail > 6:
+                # worth spending 6 bits on an explicit length;
+                # '11' + 3-bit class + 6-bit length as one 11-bit field
+                sig = 64 - lead_class - trail
+                ap_v((0b11 << 9) | (idx << 6) | sig)
+                ap_w(11)
+                ap_v(xor >> trail)
+                ap_w(sig)
+                prev_class = lead_class
+            elif lead_class == prev_class:
+                ap_v(0b01)
+                ap_w(2)
+                ap_v(xor)
+                ap_w(64 - lead_class)
             else:
-                lead_class = _chimp_round_lead(_leading_zeros64(xor))
-                trail = _trailing_zeros64(xor)
-                if trail > 6:
-                    # worth spending 6 bits on an explicit length
-                    bw.write_bits(0b11, 2)
-                    bw.write_bits(_CHIMP_LEAD_ROUND.index(lead_class), 3)
-                    sig = 64 - lead_class - trail
-                    bw.write_bits(sig, 6)
-                    bw.write_bits(xor >> trail, sig)
-                    prev_lead_class = lead_class
-                elif lead_class == prev_lead_class:
-                    bw.write_bits(0b01, 2)
-                    bw.write_bits(xor, 64 - lead_class)
-                else:
-                    bw.write_bits(0b10, 2)
-                    bw.write_bits(_CHIMP_LEAD_ROUND.index(lead_class), 3)
-                    bw.write_bits(xor, 64 - lead_class)
-                    prev_lead_class = lead_class
-            prev = int(raw)
-        payload, n_bits = bw.getvalue()
+                ap_v((0b10 << 3) | idx)
+                ap_w(5)
+                ap_v(xor)
+                ap_w(64 - lead_class)
+                prev_class = lead_class
+        payload, n_bits = _emit(vals, widths)
         writer.write_u64(n_bits)
         writer.write(payload)
         return writer.getvalue()
@@ -227,27 +312,68 @@ class Chimp(Encoding):
         count = reader.read_u64()
         if count == 0:
             return np.zeros(0, dtype=dtype)
-        n_bits = reader.read_u64()
-        br = _BitReader(reader.read((n_bits + 7) // 8), n_bits)
-        out = np.empty(count, dtype=np.uint64)
-        prev = br.read_bits(64)
-        out[0] = prev
+        total = reader.read_u64()
+        payload = reader.read((total + 7) // 8)
+        if total < 64:
+            raise EncodingError("chimp: truncated bit stream")
+        win_np, nxt_np = _msb_windows(payload)
+        win = win_np.tolist()
+        nxt = nxt_np.tolist()
+        pos = 64
         lead_class = 0
+        table = _CHIMP_LEAD_ROUND
+        idxs: list[int] = []
+        poss: list[int] = []
+        widths: list[int] = []
+        trails: list[int] = []
         for i in range(1, count):
-            flag = br.read_bits(2)
+            if pos + 2 > total:
+                raise EncodingError("chimp: truncated bit stream")
+            byte_idx = pos >> 3
+            shift = pos & 7
+            if shift:
+                window = ((win[byte_idx] << shift) & _M64) | (
+                    nxt[byte_idx] >> (8 - shift)
+                )
+            else:
+                window = win[byte_idx]
+            flag = window >> 62
             if flag == 0b00:
-                out[i] = prev
+                pos += 2
                 continue
             if flag == 0b11:
-                lead_class = _CHIMP_LEAD_ROUND[br.read_bits(3)]
-                sig = br.read_bits(6)
+                if pos + 11 > total:
+                    raise EncodingError("chimp: truncated bit stream")
+                # class(3) + length(6) sit inside the same window
+                lead_class = table[(window >> 59) & 7]
+                sig = (window >> 53) & 63
                 trail = 64 - lead_class - sig
-                xor = br.read_bits(sig) << trail
-            elif flag == 0b10:
-                lead_class = _CHIMP_LEAD_ROUND[br.read_bits(3)]
-                xor = br.read_bits(64 - lead_class)
-            else:  # 0b01
-                xor = br.read_bits(64 - lead_class)
-            prev ^= xor
-            out[i] = prev
+                if trail < 0:
+                    raise EncodingError("chimp: corrupt significant length")
+                pos += 11
+                if pos + sig > total:
+                    raise EncodingError("chimp: truncated bit stream")
+                if sig:
+                    idxs.append(i)
+                    poss.append(pos)
+                    widths.append(sig)
+                    trails.append(trail)
+                    pos += sig
+            else:
+                if flag == 0b10:
+                    lead_class = table[(window >> 59) & 7]
+                    pos += 5
+                else:  # 0b01
+                    pos += 2
+                meaningful = 64 - lead_class
+                if pos + meaningful > total:
+                    raise EncodingError("chimp: truncated bit stream")
+                idxs.append(i)
+                poss.append(pos)
+                widths.append(meaningful)
+                trails.append(0)
+                pos += meaningful
+        out = _accumulate_xors(
+            win_np, nxt_np, win[0], count, idxs, poss, widths, trails
+        )
         return out.view(np.float64).astype(dtype)

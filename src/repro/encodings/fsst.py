@@ -14,13 +14,28 @@ Faithful to the published algorithm's shape:
   literal byte;
 * decoding is a trivial table lookup, preserving FSST's random-access
   friendly "decode = memcpy of symbols" property.
+
+The greedy parse and the decode are whole-array numpy transforms: the
+parse matches every symbol against 8-byte windows at its first-byte
+candidate positions, and decode classifies every byte as token start or
+escape payload from the parity of the escape run preceding it, then
+scatters symbol bytes through one fancy-index gather.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 
-from repro.encodings.base import Encoding, Kind, as_bytes_list, register
+import numpy as np
+
+from repro.encodings.base import (
+    Encoding,
+    EncodingError,
+    Kind,
+    as_bytes_list,
+    register,
+)
 from repro.util.bitio import ByteReader, ByteWriter
 
 ESCAPE = 0xFF
@@ -28,6 +43,118 @@ MAX_SYMBOLS = 255
 MAX_SYMBOL_LEN = 8
 _TRAIN_ITERATIONS = 4
 _SAMPLE_BYTES = 1 << 16
+
+
+def _byte_windows(data: np.ndarray) -> np.ndarray:
+    """Big-endian 8-byte window starting at every position (0-padded)."""
+    n = len(data)
+    padded = np.zeros(n + 8, dtype=np.uint64)
+    padded[:n] = data
+    windows = np.zeros(n, dtype=np.uint64)
+    for k in range(8):
+        windows |= padded[k : k + n] << np.uint64(8 * (7 - k))
+    return windows
+
+
+def _vector_parse(
+    data: np.ndarray, remaining: np.ndarray, symbols: list[bytes]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy longest-match classification at every byte position.
+
+    Returns ``(len_at, code_at)``: the match length (0 = no symbol
+    matches, i.e. escape) and symbol code at each position, honouring
+    ``remaining`` (bytes left in the position's item, so matches never
+    straddle item boundaries). Each symbol is tested with one masked
+    compare of the 8-byte windows at its first-byte candidate
+    positions; iterating lengths ascending lets longer matches simply
+    overwrite shorter ones.
+    """
+    n = len(data)
+    len_at = np.zeros(n, dtype=np.int32)
+    code_at = np.zeros(n, dtype=np.int32)
+    if n == 0 or not symbols:
+        return len_at, code_at
+    windows = _byte_windows(data)
+    by_first = np.argsort(data, kind="stable").astype(np.int32)
+    bucket_bounds = np.searchsorted(data[by_first], np.arange(257))
+    for code, sym in sorted(
+        enumerate(symbols), key=lambda pair: len(pair[1])
+    ):
+        lo, hi = bucket_bounds[sym[0]], bucket_bounds[sym[0] + 1]
+        if lo == hi:
+            continue
+        candidates = by_first[lo:hi]
+        length = len(sym)
+        if length == 1:
+            len_at[candidates] = 1
+            code_at[candidates] = code
+            continue
+        value = int.from_bytes(sym.ljust(8, b"\0"), "big")
+        mask = ((1 << (8 * length)) - 1) << (8 * (8 - length))
+        hits = candidates[
+            (windows[candidates] & np.uint64(mask)) == np.uint64(value)
+        ]
+        hits = hits[remaining[hits] >= length]
+        len_at[hits] = length
+        code_at[hits] = code
+    return len_at, code_at
+
+
+def _walk_tokens_single(advance: np.ndarray) -> list[int]:
+    """Sequential token-start walk over one item (training path)."""
+    adv = array("i", advance.astype(np.int32).tobytes())
+    n = len(adv)
+    starts: list[int] = []
+    append = starts.append
+    pos = 0
+    while pos < n:
+        append(pos)
+        pos += adv[pos]
+    return starts
+
+
+def _walk_tokens(
+    advance: np.ndarray, item_starts: np.ndarray, item_ends: np.ndarray
+) -> np.ndarray:
+    """Token-start positions for every item, in item-major order.
+
+    Runs all items' greedy chains in lockstep: round ``k`` gathers the
+    position of each item's ``k``-th token, so the number of sequential
+    steps is the *longest* item's token count, not the total.
+    """
+    n = len(advance)
+    n_items = len(item_starts)
+    if n == 0 or n_items == 0:
+        return np.zeros(0, dtype=np.int64)
+    max_item = int((item_ends - item_starts).max())
+    if n_items < 32 or n_items * max_item > 16 * n + 4096:
+        # degenerate shapes (one huge item, or a few items): the
+        # lockstep matrix would be tall and empty — walk sequentially
+        offsets: list[int] = []
+        adv = array("i", advance.astype(np.int32).tobytes())
+        append = offsets.append
+        for start, end in zip(item_starts.tolist(), item_ends.tolist()):
+            pos = start
+            while pos < end:
+                append(pos)
+                pos += adv[pos]
+        return np.array(offsets, dtype=np.int64)
+    cursor = item_starts.astype(np.int64).copy()
+    ends = item_ends.astype(np.int64)
+    hop = np.append(np.maximum(advance, 1), 1).astype(np.int64)
+    columns = []
+    while True:
+        alive = cursor < ends
+        if not alive.any():
+            break
+        columns.append(cursor.copy())
+        cursor = np.where(
+            alive, cursor + hop[np.minimum(cursor, n)], cursor
+        )
+    if not columns:
+        return np.zeros(0, dtype=np.int64)
+    matrix = np.stack(columns, axis=1)  # (n_items, rounds): item-major
+    return matrix[matrix < ends[:, None]]
 
 
 def train_symbol_table(sample: bytes) -> list[bytes]:
@@ -48,7 +175,6 @@ def train_symbol_table(sample: bytes) -> list[bytes]:
         if count > 1
     ]
     for _ in range(_TRAIN_ITERATIONS):
-        table = {s: i for i, s in enumerate(symbols)}
         parse = _greedy_parse(sample, symbols)
         pair_counts: Counter = Counter()
         for a, b in zip(parse, parse[1:]):
@@ -77,25 +203,15 @@ def train_symbol_table(sample: bytes) -> list[bytes]:
 
 def _greedy_parse(data: bytes, symbols: list[bytes]) -> list[bytes]:
     """Greedy longest-match factorization of ``data`` over ``symbols``."""
-    by_first: dict[int, list[bytes]] = {}
-    for sym in symbols:
-        by_first.setdefault(sym[0], []).append(sym)
-    for lst in by_first.values():
-        lst.sort(key=len, reverse=True)
-    out = []
-    pos = 0
-    n = len(data)
-    while pos < n:
-        best = None
-        for sym in by_first.get(data[pos], ()):
-            if data.startswith(sym, pos):
-                best = sym
-                break
-        if best is None:
-            best = data[pos : pos + 1]
-        out.append(best)
-        pos += len(best)
-    return out
+    arr = np.frombuffer(data, dtype=np.uint8)
+    remaining = np.arange(len(arr), 0, -1, dtype=np.int64)
+    len_at, code_at = _vector_parse(arr, remaining, symbols)
+    starts = _walk_tokens_single(np.maximum(len_at, 1))
+    len_l = len_at.tolist()
+    code_l = code_at.tolist()
+    return [
+        symbols[code_l[p]] if len_l[p] else data[p : p + 1] for p in starts
+    ]
 
 
 @register
@@ -110,12 +226,6 @@ class FSST(Encoding):
         items = as_bytes_list(values)
         corpus = b"".join(items)
         symbols = train_symbol_table(corpus)
-        code_of = {s: i for i, s in enumerate(symbols)}
-        by_first: dict[int, list[bytes]] = {}
-        for sym in symbols:
-            by_first.setdefault(sym[0], []).append(sym)
-        for lst in by_first.values():
-            lst.sort(key=len, reverse=True)
 
         writer = ByteWriter()
         writer.write_u8(len(symbols))
@@ -123,29 +233,38 @@ class FSST(Encoding):
             writer.write_u8(len(sym))
             writer.write(sym)
         writer.write_u64(len(items))
-        encoded_items = []
-        for item in items:
-            enc = bytearray()
-            pos = 0
-            n = len(item)
-            while pos < n:
-                match = None
-                for sym in by_first.get(item[pos], ()):
-                    if item.startswith(sym, pos):
-                        match = sym
-                        break
-                if match is None:
-                    enc.append(ESCAPE)
-                    enc.append(item[pos])
-                    pos += 1
-                else:
-                    enc.append(code_of[match])
-                    pos += len(match)
-            encoded_items.append(bytes(enc))
-        for enc in encoded_items:
-            writer.write_u32(len(enc))
-        for enc in encoded_items:
-            writer.write(enc)
+
+        data = np.frombuffer(corpus, dtype=np.uint8)
+        item_lens = np.fromiter(
+            (len(it) for it in items), dtype=np.int64, count=len(items)
+        )
+        item_ends = np.cumsum(item_lens)
+        item_starts = item_ends - item_lens
+        remaining = (
+            np.repeat(item_ends, item_lens)
+            - np.arange(len(data), dtype=np.int64)
+        )
+        len_at, code_at = _vector_parse(data, remaining, symbols)
+        starts = _walk_tokens(
+            np.maximum(len_at, 1), item_starts, item_ends
+        )
+
+        matched = len_at[starts] > 0
+        out_lens = np.where(matched, 1, 2).astype(np.int64)
+        out_offs = np.cumsum(out_lens) - out_lens
+        out = np.empty(int(out_lens.sum()), dtype=np.uint8)
+        out[out_offs[matched]] = code_at[starts[matched]]
+        out[out_offs[~matched]] = ESCAPE
+        out[out_offs[~matched] + 1] = data[starts[~matched]]
+
+        token_item = np.repeat(
+            np.arange(len(items), dtype=np.int64), item_lens
+        )[starts] if len(starts) else np.zeros(0, dtype=np.int64)
+        enc_lens = np.bincount(
+            token_item, weights=out_lens, minlength=len(items)
+        ).astype(np.uint32)
+        writer.write_array(enc_lens)
+        writer.write(out.tobytes())
         return writer.getvalue()
 
     @classmethod
@@ -153,19 +272,75 @@ class FSST(Encoding):
         n_symbols = reader.read_u8()
         symbols = [reader.read(reader.read_u8()) for _ in range(n_symbols)]
         count = reader.read_u64()
-        lengths = [reader.read_u32() for _ in range(count)]
-        out = []
-        for length in lengths:
-            enc = reader.read(length)
-            dec = bytearray()
-            pos = 0
-            while pos < length:
-                code = enc[pos]
-                if code == ESCAPE:
-                    dec.append(enc[pos + 1])
-                    pos += 2
-                else:
-                    dec += symbols[code]
-                    pos += 1
-            out.append(bytes(dec))
-        return out
+        enc_lens = reader.read_array(np.uint32, count).astype(np.int64)
+        total = int(enc_lens.sum())
+        enc = np.frombuffer(reader.read(total), dtype=np.uint8)
+        if count == 0:
+            return []
+        if total == 0:
+            return [b""] * int(count)
+
+        # token starts from escape-run parity: a maximal run of 0xFF
+        # bytes always begins at a token start, so position p starts a
+        # token iff the escape run immediately before it (clamped to
+        # its item) has even length.
+        item_ends = np.cumsum(enc_lens)
+        item_starts = item_ends - enc_lens
+        positions = np.arange(total, dtype=np.int32)
+        is_escape = enc == ESCAPE
+        last_plain = np.maximum.accumulate(
+            np.where(is_escape, np.int32(-1), positions)
+        )
+        run_before = np.empty(total, dtype=np.int32)
+        run_before[0] = 0
+        np.subtract(positions[1:], 1 + last_plain[:-1], out=run_before[1:])
+        # the in-item clamp only matters when some item *begins* inside
+        # a global escape run — rare enough to test for explicitly
+        inner = item_starts[(enc_lens > 0) & (item_starts > 0)]
+        if len(inner) and bool(
+            (is_escape[inner] & is_escape[inner - 1]).any()
+        ):
+            run_before = np.minimum(
+                run_before,
+                positions
+                - np.repeat(item_starts.astype(np.int32), enc_lens),
+            )
+        tokens = np.flatnonzero((run_before & 1) == 0)
+
+        first = enc[tokens]
+        escaped = first == ESCAPE
+        token_item = np.repeat(
+            np.arange(count, dtype=np.int32), enc_lens
+        )[tokens]
+        if bool((escaped & (tokens + 1 >= item_ends[token_item])).any()):
+            raise EncodingError("fsst: truncated escape sequence")
+        if bool((first[~escaped] >= n_symbols).any()):
+            raise EncodingError("fsst: symbol code out of range")
+        literal = enc[np.minimum(tokens + 1, total - 1)]
+
+        # (symbols + 256 literal pseudo-symbols) x 8 byte matrix: every
+        # token's output is a row prefix, so one row gather plus a
+        # length-mask extraction emits the whole column's bytes
+        table = np.zeros((n_symbols + 256, MAX_SYMBOL_LEN), dtype=np.uint8)
+        table_len = np.ones(n_symbols + 256, dtype=np.int16)
+        for i, sym in enumerate(symbols):
+            table[i, : len(sym)] = np.frombuffer(sym, dtype=np.uint8)
+            table_len[i] = len(sym)
+        table[n_symbols:, 0] = np.arange(256)
+        rows = np.where(
+            escaped, n_symbols + literal.astype(np.int32), first
+        ).astype(np.int32)
+        out_len = table_len[rows]
+        decoded = table[rows][
+            np.arange(MAX_SYMBOL_LEN, dtype=np.int16)[None, :]
+            < out_len[:, None]
+        ].tobytes()
+
+        item_out = np.bincount(
+            token_item, weights=out_len, minlength=count
+        ).astype(np.int64)
+        offs = np.cumsum(item_out) - item_out
+        return [
+            decoded[o : o + ln]
+            for o, ln in zip(offs.tolist(), item_out.tolist())
+        ]

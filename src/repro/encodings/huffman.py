@@ -12,6 +12,7 @@ decode out of pure-Python inner loops where possible.
 from __future__ import annotations
 
 import heapq
+from array import array
 
 import numpy as np
 
@@ -22,10 +23,63 @@ from repro.encodings.base import (
     as_int64,
     register,
 )
-from repro.util.bitio import ByteReader, ByteWriter
+from repro.util.bitio import (
+    BitWindowReader,
+    ByteReader,
+    ByteWriter,
+    pack_varwidth_msb,
+)
 
 #: guardrail: Huffman tables beyond this cardinality are a selector bug
 MAX_SYMBOLS = 65536
+
+#: lookup-table tag for codes deeper than the table (resolved scalar)
+_DEEP_CODE = 255
+
+
+class _DeepCodeResolver:
+    """Scalar fallback for codes deeper than the decode lookup table.
+
+    Canonical codes of one length, left-aligned to 64 bits, occupy a
+    contiguous range below ``(first + count) << (64 - length)``; prefix-
+    freeness keeps those upper bounds increasing with length, so the
+    code length at a bit position is found by bisecting its 64-bit
+    window against them.
+    """
+
+    def __init__(
+        self, raw, total_bits, uniq_lens, first_rank, group_ends,
+        codes_sorted,
+    ) -> None:
+        self._window = BitWindowReader(raw, total_bits)
+        self._total_bits = total_bits
+        self._lens = [int(x) for x in uniq_lens]
+        self._first_rank = [int(x) for x in first_rank]
+        self._first_code = [int(codes_sorted[lo]) for lo in first_rank]
+        self._bounds = [
+            ((int(codes_sorted[hi - 1]) + 1) << (64 - int(ln))) - 1
+            for ln, hi in zip(uniq_lens, group_ends)
+            if int(ln) > 0
+        ]
+        if self._lens and self._lens[0] == 0:
+            self._lens = self._lens[1:]
+            self._first_rank = self._first_rank[1:]
+            self._first_code = self._first_code[1:]
+
+    def resolve(self, pos: int) -> tuple[int, int]:
+        import bisect
+
+        window = self._window.peek64(pos)
+        group = bisect.bisect_left(self._bounds, window)
+        if group >= len(self._lens):
+            raise EncodingError("corrupt huffman bit stream")
+        length = self._lens[group]
+        if pos + length > self._total_bits:
+            raise EncodingError("corrupt huffman bit stream")
+        rank = self._first_rank[group] + (
+            (window >> (64 - length)) - self._first_code[group]
+        )
+        return length, rank
 
 
 def _code_lengths(symbols: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -99,19 +153,11 @@ class Huffman(Encoding):
         writer.write_array(symbols.astype(np.int64))
         writer.write_array(lengths)
         # emit bit stream: per value, `length` bits of its code, MSB first
-        value_codes = codes[inverse]
-        value_lengths = lengths[inverse].astype(np.int64)
-        total_bits = int(value_lengths.sum())
-        bit_parts = []
-        for code, length in zip(value_codes, value_lengths):
-            length = int(length)
-            bits = (int(code) >> np.arange(length - 1, -1, -1)) & 1
-            bit_parts.append(bits.astype(np.uint8))
-        all_bits = (
-            np.concatenate(bit_parts) if bit_parts else np.zeros(0, dtype=np.uint8)
+        payload, total_bits = pack_varwidth_msb(
+            codes[inverse], lengths[inverse].astype(np.int64)
         )
         writer.write_u64(total_bits)
-        writer.write(np.packbits(all_bits, bitorder="big").tobytes())
+        writer.write(payload)
         return writer.getvalue()
 
     @classmethod
@@ -123,29 +169,101 @@ class Huffman(Encoding):
         symbols = reader.read_array(np.int64, n_symbols)
         lengths = reader.read_array(np.uint8, n_symbols)
         codes = _canonical_codes(lengths)
-        # canonical decode table: (length, code) -> symbol index
-        table = {
-            (int(lengths[i]), int(codes[i])): i for i in range(n_symbols)
-        }
         total_bits = reader.read_u64()
         raw = reader.read((total_bits + 7) // 8)
-        bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="big")
-        out = np.empty(count, dtype=np.int64)
+        max_len = int(lengths.max()) if n_symbols else 0
+        if max_len == 0 or max_len > 64:
+            raise EncodingError("corrupt huffman bit stream")
+        if total_bits == 0:
+            raise EncodingError("corrupt huffman bit stream")
+        order = np.lexsort((np.arange(n_symbols), lengths))
+        sym_by_rank = symbols[order]
+        sorted_lens = lengths[order].astype(np.int64)
+        codes_sorted = codes[order]
+
+        # one-shot lookup table over the first T bits of a code: slot ->
+        # (code length, canonical rank). Codes deeper than T bits mark
+        # their shared T-bit prefix slots with the escape tag and are
+        # resolved scalar (a Huffman code of depth d occurs with
+        # frequency ~2^-d, so T=18 makes escapes vanishingly rare).
+        table_bits = min(max_len, 18)
+        tbl_len = np.zeros(1 << table_bits, dtype=np.uint8)
+        tbl_rank = np.zeros(1 << table_bits, dtype=np.int32)
+        uniq_lens, first_rank = np.unique(sorted_lens, return_index=True)
+        group_ends = np.append(first_rank[1:], n_symbols)
+        for length, lo, hi in zip(uniq_lens, first_rank, group_ends):
+            length = int(length)
+            if length == 0:  # zero-length entries are never emitted
+                continue
+            group_codes = codes_sorted[lo:hi].astype(np.int64)
+            if length <= table_bits:
+                span = 1 << (table_bits - length)
+                slots = (
+                    (group_codes << (table_bits - length))[:, None]
+                    + np.arange(span)[None, :]
+                ).ravel()
+                tbl_len[slots] = length
+                tbl_rank[slots] = np.repeat(np.arange(lo, hi), span)
+            else:
+                slots = np.unique(group_codes >> (length - table_bits))
+                tbl_len[slots] = _DEEP_CODE
+
+        # T-bit window at every bit position, via byte-aligned 32-bit
+        # windows and the 8 sub-byte shifts (r + T <= 25 < 32).
+        n_bytes = len(raw)
+        pad = np.zeros(n_bytes + 8, dtype=np.uint32)
+        pad[:n_bytes] = np.frombuffer(raw, dtype=np.uint8)
+        win32 = (
+            (pad[0:n_bytes] << np.uint32(24))
+            | (pad[1 : n_bytes + 1] << np.uint32(16))
+            | (pad[2 : n_bytes + 2] << np.uint32(8))
+            | pad[3 : n_bytes + 3]
+        )
+        slot_at = np.empty(total_bits, dtype=np.int32)
+        for r in range(8):
+            m = len(slot_at[r::8])
+            slot_at[r::8] = (
+                (win32[:m] << np.uint32(r)) >> np.uint32(32 - table_bits)
+            ).astype(np.int32)
+
+        # per-position advance, with out-of-band marks above total_bits:
+        # sink (invalid slot / overrun / exhausted) and deep-code escape.
+        sink = total_bits + 2
+        escape = total_bits + 1
+        adv = tbl_len[slot_at].astype(np.int32)
+        step_np = np.empty(total_bits + 1, dtype=np.int32)
+        body = step_np[:total_bits]
+        np.add(np.arange(total_bits, dtype=np.int32), adv, out=body)
+        body[adv == 0] = sink
+        body[body > total_bits] = sink
+        body[adv == _DEEP_CODE] = escape
+        step_np[total_bits] = sink
+        # array('i') wraps the raw buffer without boxing every element
+        # the way .tolist() would; the walk below indexes it count times
+        step = array("i", step_np.tobytes())
+
+        # walk the code chain (sequential by nature; each hop is two
+        # list lookups), then classify all token positions in one gather
+        seq = np.empty(count, dtype=np.int64)
+        deep: list[tuple[int, int]] = []
+        resolver = None
         pos = 0
-        acc = 0
-        acc_len = 0
-        produced = 0
-        max_len = int(lengths.max())
-        while produced < count:
-            if acc_len > max_len or pos >= total_bits:
-                raise EncodingError("corrupt huffman bit stream")
-            acc = (acc << 1) | int(bits[pos])
-            pos += 1
-            acc_len += 1
-            hit = table.get((acc_len, acc))
-            if hit is not None:
-                out[produced] = symbols[hit]
-                produced += 1
-                acc = 0
-                acc_len = 0
-        return out
+        for i in range(count):
+            seq[i] = pos
+            nxt = step[pos]
+            if nxt > total_bits:
+                if nxt != escape:
+                    raise EncodingError("corrupt huffman bit stream")
+                if resolver is None:
+                    resolver = _DeepCodeResolver(
+                        raw, total_bits, uniq_lens, first_rank,
+                        group_ends, codes_sorted,
+                    )
+                length, rank = resolver.resolve(pos)
+                deep.append((i, rank))
+                nxt = pos + length
+            pos = nxt
+        ranks = tbl_rank[slot_at[seq]].astype(np.int64)
+        for i, rank in deep:
+            ranks[i] = rank
+        return sym_by_rank[ranks].astype(np.int64)

@@ -74,8 +74,18 @@ class Roaring(Encoding):
             base = bucket * BUCKET_SIZE
             if container == _CONTAINER_ARRAY:
                 members = reader.read_array(np.uint16, n_members)
-                out[base + members.astype(np.int64)] = True
+                positions = base + members.astype(np.int64)
+                if len(positions) and int(positions[-1]) >= count:
+                    # members are sorted on encode; a final entry past
+                    # the row count means a mangled bucket header
+                    if int(positions.max()) >= count:
+                        raise EncodingError(
+                            "roaring position beyond row count"
+                        )
+                out[positions] = True
             elif container == _CONTAINER_BITMAP:
+                if base >= count:
+                    raise EncodingError("roaring bucket beyond row count")
                 raw = reader.read(BUCKET_SIZE // 8)
                 bits = np.unpackbits(
                     np.frombuffer(raw, dtype=np.uint8), bitorder="little"

@@ -1,0 +1,257 @@
+"""Codec throughput scoreboard: MB/s encode + decode per codec × workload.
+
+The Table 2 reproduction (``benchmarks/bench_table2_encodings.py``)
+measures compression *ratio*; this harness measures *speed* on the same
+paper workload shapes (small-range ints, zipf-skewed ids, sorted ids,
+runs, time-series floats, decimal floats, URL-like strings, sparse
+bools, §2.2 sliding-window click sequences from
+:mod:`repro.workloads.sparse`).
+
+Three consumers share it:
+
+* ``benchmarks/bench_codecs.py`` — the CI smoke bench, which also
+  persists the machine-readable ``BENCH_codecs.json`` trajectory file;
+* ``repro-inspect codecs --bench`` — a quick self-benchmark;
+* ad-hoc use: ``python -m repro.tools.codec_bench``.
+
+Throughput is min-of-``repeats`` wall time over the *raw* (decoded)
+bytes, so ratios and MB/s are comparable across codecs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.encodings import decode_blob, encode_blob
+
+
+@dataclass(frozen=True)
+class CodecBenchResult:
+    """One scoreboard row: a (codec, dtype, distribution) cell."""
+
+    codec: str
+    dtype: str
+    distribution: str
+    n_values: int
+    raw_bytes: int
+    encoded_bytes: int
+    ratio: float
+    encode_mb_s: float
+    decode_mb_s: float
+
+
+def _raw_bytes(values) -> int:
+    if isinstance(values, np.ndarray):
+        return values.nbytes
+    if values and isinstance(values[0], np.ndarray):
+        return sum(v.nbytes for v in values)
+    return sum(len(v) for v in values if v is not None)
+
+
+def _n_values(values) -> int:
+    return len(values)
+
+
+def _click_windows(scale: float):
+    from repro.workloads.sparse import (
+        SlidingWindowConfig,
+        generate_click_sequences,
+    )
+
+    config = SlidingWindowConfig(
+        n_users=max(4, int(32 * scale)), events_per_user=12, seed=7
+    )
+    rows, _uids = generate_click_sequences(config)
+    return rows
+
+
+def scoreboard_workloads(scale: float = 1.0):
+    """(codec name, encoding factory, dtype, distribution, data) rows.
+
+    ``scale`` multiplies the value counts; 1.0 is the CI default and
+    stays under a second per cell for vectorized kernels.
+    """
+    from repro.encodings import (
+        ALP,
+        Chimp,
+        Delta,
+        Dictionary,
+        FastBP128,
+        FastPFOR,
+        FixedBitWidth,
+        FrameOfReference,
+        FSST,
+        Gorilla,
+        Huffman,
+        ListEncoding,
+        Pseudodecimal,
+        RLE,
+        Roaring,
+        SparseBool,
+        SparseListDelta,
+        Trivial,
+        Varint,
+        ZigZag,
+    )
+
+    rng = np.random.default_rng(2025)
+    n_int = max(256, int(65536 * scale))
+    n_float = max(256, int(16384 * scale))
+    n_str = max(64, int(4000 * scale))
+    n_bool = max(1024, int(262144 * scale))
+
+    small = rng.integers(0, 64, n_int).astype(np.int64)
+    zipf = np.minimum(rng.zipf(1.5, n_int), 10**6).astype(np.int64)
+    signed = rng.integers(-(10**6), 10**6, n_int).astype(np.int64)
+    sorted_ids = np.sort(rng.integers(0, 10**12, n_int)).astype(np.int64)
+    runs = np.repeat(
+        rng.integers(0, 8, max(1, n_int // 32)), 32
+    ).astype(np.int64)[:n_int]
+    outliers = np.where(
+        rng.random(n_int) < 0.05,
+        rng.integers(10**6, 10**9, n_int),
+        rng.integers(0, 100, n_int),
+    ).astype(np.int64)
+    series = 20.0 + np.cumsum(rng.normal(0, 0.01, n_float))
+    series32 = series.astype(np.float32)
+    decimals = np.round(rng.uniform(-1000, 1000, n_float), 2)
+    sparse_bools = rng.random(n_bool) < 0.005
+    dense_bools = rng.random(n_bool) < 0.6
+    urls = [
+        f"https://ads.example.com/c?cid={int(rng.integers(0, 400))}"
+        f"&uid={int(rng.integers(0, 1000))}".encode()
+        for _ in range(n_str)
+    ]
+    windows = _click_windows(scale)
+
+    return [
+        ("trivial", Trivial, "int64", "signed", signed),
+        ("fixed_bit_width", FixedBitWidth, "int64", "small", small),
+        ("varint", Varint, "int64", "small", small),
+        ("varint", Varint, "int64", "outliers", outliers),
+        ("zigzag", ZigZag, "int64", "signed", signed),
+        ("rle", RLE, "int64", "runs", runs),
+        ("dictionary", Dictionary, "int64", "small", small),
+        ("dictionary", Dictionary, "bytes", "urls", urls),
+        ("delta", Delta, "int64", "sorted_ids", sorted_ids),
+        ("for", FrameOfReference, "int64", "signed", signed),
+        ("huffman", Huffman, "int64", "small", small),
+        ("huffman", Huffman, "int64", "zipf", zipf),
+        ("fastpfor", FastPFOR, "int64", "small", small),
+        ("fastpfor", FastPFOR, "int64", "outliers", outliers),
+        ("fastbp128", FastBP128, "int64", "small", small),
+        ("sparse_bool", SparseBool, "bool", "sparse", sparse_bools),
+        ("roaring", Roaring, "bool", "sparse", sparse_bools),
+        ("roaring", Roaring, "bool", "dense", dense_bools),
+        ("fsst", FSST, "bytes", "urls", urls),
+        ("gorilla", Gorilla, "float64", "timeseries", series),
+        ("gorilla", Gorilla, "float32", "timeseries", series32),
+        ("chimp", Chimp, "float64", "timeseries", series),
+        ("chimp", Chimp, "float32", "timeseries", series32),
+        ("pseudodecimal", Pseudodecimal, "float64", "decimals", decimals),
+        ("alp", ALP, "float64", "decimals", decimals),
+        ("list", ListEncoding, "list<int64>", "click_windows", windows),
+        (
+            "sparse_list_delta",
+            SparseListDelta,
+            "list<int64>",
+            "click_windows",
+            windows,
+        ),
+    ]
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return max(best, 1e-9)
+
+
+def run_scoreboard(
+    scale: float = 1.0,
+    repeats: int = 3,
+    codecs: set[str] | None = None,
+) -> list[CodecBenchResult]:
+    """Run the scoreboard; ``codecs`` optionally restricts by name."""
+    results = []
+    for name, factory, dtype, distribution, data in scoreboard_workloads(
+        scale
+    ):
+        if codecs is not None and name not in codecs:
+            continue
+        encoding = factory()
+        raw = _raw_bytes(data)
+        blob = encode_blob(data, encoding)  # warm-up + blob for decode
+        enc_s = _best_seconds(lambda: encode_blob(data, encoding), repeats)
+        decode_blob(blob)
+        dec_s = _best_seconds(lambda: decode_blob(blob), repeats)
+        results.append(
+            CodecBenchResult(
+                codec=name,
+                dtype=dtype,
+                distribution=distribution,
+                n_values=_n_values(data),
+                raw_bytes=raw,
+                encoded_bytes=len(blob),
+                ratio=round(raw / len(blob), 3),
+                encode_mb_s=round(raw / enc_s / 1e6, 2),
+                decode_mb_s=round(raw / dec_s / 1e6, 2),
+            )
+        )
+    return results
+
+
+def format_scoreboard(results: list[CodecBenchResult]) -> list[str]:
+    lines = [
+        f"{'codec':18s} {'dtype':11s} {'distribution':14s} "
+        f"{'ratio':>7s} {'enc MB/s':>9s} {'dec MB/s':>9s}"
+    ]
+    for r in results:
+        lines.append(
+            f"{r.codec:18s} {r.dtype:11s} {r.distribution:14s} "
+            f"{r.ratio:6.1f}x {r.encode_mb_s:9.1f} {r.decode_mb_s:9.1f}"
+        )
+    return lines
+
+
+def scoreboard_json(results: list[CodecBenchResult]) -> str:
+    """The BENCH_codecs.json trajectory payload (machine-readable)."""
+    return json.dumps(
+        {
+            "schema": "bench_codecs/v1",
+            "unit": "MB/s over raw (decoded) bytes, min-of-repeats",
+            "rows": [asdict(r) for r in results],
+        },
+        indent=2,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description="codec throughput scoreboard")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH", default=None)
+    parser.add_argument("codecs", nargs="*", help="restrict to these codecs")
+    args = parser.parse_args()
+    results = run_scoreboard(
+        scale=args.scale,
+        repeats=args.repeats,
+        codecs=set(args.codecs) or None,
+    )
+    print("\n".join(format_scoreboard(results)))
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(scoreboard_json(results) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

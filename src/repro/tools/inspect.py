@@ -194,6 +194,61 @@ def _run_guarded(parser: argparse.ArgumentParser, fn) -> int:
 
 
 # ---------------------------------------------------------------------------
+# codecs subcommand (the Table 2 catalog + throughput scoreboard)
+# ---------------------------------------------------------------------------
+
+def describe_codecs() -> str:
+    """The registered encoding catalog: id, name, accepted kinds."""
+    from repro.encodings import catalog
+
+    lines = [f"{'id':>4}  {'codec':18s}  kinds"]
+    for name, cls in sorted(catalog().items(), key=lambda kv: kv[1].id):
+        kinds = ", ".join(sorted(k.value for k in cls.kinds))
+        lines.append(f"{cls.id:>4}  {name:18s}  {kinds}")
+    return "\n".join(lines)
+
+
+def _codecs_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect codecs",
+        description="List the encoding catalog; --bench runs the "
+        "throughput scoreboard on paper workload shapes.",
+    )
+    sub.add_argument(
+        "--bench", action="store_true",
+        help="measure encode/decode MB/s per codec x workload",
+    )
+    sub.add_argument(
+        "--scale", type=float, default=0.25, metavar="F",
+        help="workload size multiplier for --bench (default: 0.25)",
+    )
+    sub.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="timing repeats for --bench, best kept (default: 2)",
+    )
+    sub.add_argument(
+        "codecs", nargs="*", metavar="CODEC",
+        help="restrict --bench to these codec names",
+    )
+    args = sub.parse_args(argv)
+
+    def run() -> None:
+        if not args.bench:
+            print(describe_codecs())
+            return
+        from repro.tools.codec_bench import format_scoreboard, run_scoreboard
+
+        results = run_scoreboard(
+            scale=args.scale,
+            repeats=args.repeats,
+            codecs=set(args.codecs) or None,
+        )
+        print("\n".join(format_scoreboard(results)))
+
+    return _run_guarded(parser, run)
+
+
+# ---------------------------------------------------------------------------
 # filtered-scan subcommand (the pushdown-layer report)
 # ---------------------------------------------------------------------------
 
@@ -529,6 +584,8 @@ def main(argv: list[str] | None = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw[:1] == ["catalog"]:
         return _catalog_main(parser, raw[1:])
+    if raw[:1] == ["codecs"]:
+        return _codecs_main(parser, raw[1:])
     if raw[:1] == ["scan"]:
         return _scan_main(parser, raw[1:])
     if raw[:1] == ["query"]:

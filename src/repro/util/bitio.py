@@ -151,21 +151,212 @@ def pack_bits(values: np.ndarray, width: int) -> bytes:
 
 
 def unpack_bits(data: bytes, width: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`; returns uint64 array of ``count``."""
+    """Inverse of :func:`pack_bits`; returns uint64 array of ``count``.
+
+    For widths up to 57 this runs phase-strided: the bit layout repeats
+    every 8 values (one ``width``-byte period), so phase ``r`` of every
+    period shares one byte offset and one sub-byte shift. Each phase is
+    then a handful of strided slices composed into a word — no fancy
+    indexing, no per-value work, ~32 small vector ops total.
+    """
     if width == 0:
         return np.zeros(count, dtype=np.uint64)
     if count == 0:
         return np.zeros(0, dtype=np.uint64)
     needed_bits = width * count
     raw = np.frombuffer(data, dtype=np.uint8)
-    bits = np.unpackbits(raw, bitorder="little")
-    if len(bits) < needed_bits:
+    if len(raw) * 8 < needed_bits:
         raise ValueError(
-            f"bit buffer too small: have {len(bits)} bits, need {needed_bits}"
+            f"bit buffer too small: have {len(raw) * 8} bits, "
+            f"need {needed_bits}"
         )
-    bits = bits[:needed_bits].reshape(count, width).astype(np.uint64)
-    weights = np.uint64(1) << np.arange(width, dtype=np.uint64)
-    return (bits * weights[None, :]).sum(axis=1, dtype=np.uint64)
+    if width <= 57:
+        groups = (count + 7) // 8
+        pad = np.zeros(groups * width + 8, dtype=np.uint8)
+        usable = min(len(raw), len(pad))
+        pad[:usable] = raw[:usable]
+        dtype = np.uint32 if width <= 25 else np.uint64
+        mask = dtype((1 << width) - 1)
+        out = np.empty(groups * 8, dtype=np.uint64)
+        span = groups * width
+        for r in range(8):
+            first_bit = r * width
+            byte0 = first_bit >> 3
+            shift = first_bit & 7
+            n_bytes = (shift + width + 7) >> 3
+            word = pad[byte0 : byte0 + span : width].astype(dtype)
+            for k in range(1, n_bytes):
+                word |= (
+                    pad[byte0 + k : byte0 + k + span : width].astype(dtype)
+                    << dtype(8 * k)
+                )
+            word >>= dtype(shift)
+            word &= mask
+            out[r::8] = word
+        return out[:count]
+    # widths 58..64: pad each value's bits to 64 and view the bytes as
+    # uint64 — one C pass instead of a multiply-accumulate per bit.
+    bits = np.unpackbits(raw, bitorder="little")
+    padded = np.zeros((count, 64), dtype=np.uint8)
+    padded[:, :width] = bits[:needed_bits].reshape(count, width)
+    return (
+        np.packbits(padded.reshape(-1), bitorder="little")
+        .view("<u8")
+        .copy()
+    )
+
+
+def bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Per-element ``int.bit_length`` over a uint64 array (int64 out).
+
+    Successive halving: six shift/compare rounds classify all 64
+    possible widths, whole-array.
+    """
+    widths = np.zeros(len(values), dtype=np.int64)
+    v = np.asarray(values, dtype=np.uint64).copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = v >= (np.uint64(1) << np.uint64(shift))
+        widths[big] += shift
+        v[big] >>= np.uint64(shift)
+    widths[v > 0] += 1
+    return widths
+
+
+def le_bit_windows(data: bytes) -> np.ndarray:
+    """Little-endian 64-bit window starting at every byte offset.
+
+    ``out[j]`` holds bytes ``j..j+7`` as one uint64 (zero-padded past
+    the end), so the ``width <= 57`` bits at any bit position ``p`` are
+    ``(out[p >> 3] >> (p & 7)) & ((1 << width) - 1)`` — the whole-array
+    gather behind the batch unpack paths.
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = len(raw)
+    padded = np.zeros(n + 8, dtype=np.uint64)
+    padded[:n] = raw
+    windows = np.zeros(n + 1, dtype=np.uint64)
+    for k in range(8):
+        windows |= padded[k : k + n + 1] << np.uint64(8 * k)
+    return windows
+
+
+def le_bit_windows32(data: bytes) -> np.ndarray:
+    """32-bit variant of :func:`le_bit_windows` for fields <= 25 bits.
+
+    Half the memory traffic of the 64-bit windows; callers keep the
+    whole gather pipeline in uint32.
+    """
+    raw = np.frombuffer(data, dtype=np.uint8)
+    n = len(raw)
+    padded = np.zeros(n + 4, dtype=np.uint32)
+    padded[:n] = raw
+    windows = padded[: n + 1].copy()
+    for k in range(1, 4):
+        windows |= padded[k : k + n + 1] << np.uint32(8 * k)
+    return windows
+
+
+def scatter_varwidth_lsb(
+    values: np.ndarray, widths: np.ndarray, bit_starts: np.ndarray,
+    total_bytes: int,
+) -> bytes:
+    """Write LSB-first bit fields at arbitrary bit offsets, whole-array.
+
+    Field ``i`` puts the low ``widths[i]`` bits of ``values[i]`` (LSB
+    first) at bit position ``bit_starts[i]``; untouched bits are zero.
+    Fields may be non-contiguous (block codecs pad each miniblock to a
+    byte boundary) but must not overlap.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return bytes(total_bytes)
+    bits = np.zeros(total_bytes * 8, dtype=np.uint8)
+    offset = np.arange(total_bits, dtype=np.int64) - np.repeat(
+        np.cumsum(widths) - widths, widths
+    )
+    slots = np.repeat(np.asarray(bit_starts, dtype=np.int64), widths) + offset
+    bits[slots] = (
+        np.repeat(values, widths) >> offset.astype(np.uint64)
+    ) & np.uint64(1)
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def pack_varwidth_msb(values, widths) -> tuple[bytes, int]:
+    """Concatenate variable-width MSB-first bit fields, whole-array.
+
+    Field ``i`` contributes the low ``widths[i]`` bits of ``values[i]``,
+    most-significant bit first, with no padding between fields; the byte
+    stream is the big-endian ``np.packbits`` of the concatenation. This
+    is exactly the layout the streaming bit writers (Huffman, Gorilla,
+    Chimp) produce one bit at a time — here every field lands via one
+    repeat/arange scatter. Returns ``(payload, total_bits)``.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    total_bits = int(widths.sum())
+    if total_bits == 0:
+        return b"", 0
+    starts = np.repeat(np.cumsum(widths) - widths, widths)
+    offset = np.arange(total_bits, dtype=np.int64) - starts
+    shift = (np.repeat(widths, widths) - 1 - offset).astype(np.uint64)
+    bits = ((np.repeat(values, widths) >> shift) & np.uint64(1)).astype(np.uint8)
+    return np.packbits(bits, bitorder="big").tobytes(), total_bits
+
+
+class BitWindowReader:
+    """Sequential MSB-first bit reader over a byte payload.
+
+    Precomputes a big-endian 64-bit window at every *byte* offset, so a
+    read of up to 64 bits at any bit position costs two list lookups and
+    a couple of integer ops — no per-bit work. This is the decode-side
+    companion of :func:`pack_varwidth_msb`, used by the codecs whose bit
+    streams carry sequential state (Gorilla/Chimp) and therefore cannot
+    be decoded as one whole-array transform.
+    """
+
+    __slots__ = ("_win", "_next", "total_bits", "pos")
+
+    def __init__(self, data: bytes, total_bits: int) -> None:
+        if total_bits > 8 * len(data):
+            raise ValueError(
+                f"bit stream claims {total_bits} bits but payload has "
+                f"only {8 * len(data)}"
+            )
+        raw = np.frombuffer(data, dtype=np.uint8)
+        n = len(raw) + 1
+        padded = np.zeros(n + 8, dtype=np.uint64)
+        padded[: len(raw)] = raw
+        win = np.zeros(n, dtype=np.uint64)
+        for k in range(8):
+            win |= padded[k : k + n] << np.uint64(8 * (7 - k))
+        self._win = win.tolist()
+        self._next = padded[8 : 8 + n].tolist()
+        self.total_bits = total_bits
+        self.pos = 0
+
+    def peek64(self, pos: int) -> int:
+        """The 64 bits starting at bit ``pos`` (zero-padded past the end)."""
+        byte_idx = pos >> 3
+        shift = pos & 7
+        if shift == 0:
+            return self._win[byte_idx]
+        return (
+            (self._win[byte_idx] << shift) & 0xFFFFFFFFFFFFFFFF
+        ) | (self._next[byte_idx] >> (8 - shift))
+
+    def take(self, width: int) -> int:
+        """Read ``width`` (1..64) bits MSB-first; raises past the end."""
+        pos = self.pos
+        if width < 0 or pos + width > self.total_bits:
+            raise ValueError(
+                f"bit read of {width} at {pos} exceeds {self.total_bits}"
+            )
+        self.pos = pos + width
+        if width == 0:
+            return 0
+        return self.peek64(pos) >> (64 - width)
 
 
 def set_packed_value(buf: bytearray, index: int, width: int, value: int) -> None:
@@ -188,6 +379,65 @@ def set_packed_value(buf: bytearray, index: int, width: int, value: int) -> None
             buf[byte_idx] |= 1 << bit_idx
         else:
             buf[byte_idx] &= ~(1 << bit_idx) & 0xFF
+
+
+def set_packed_values(
+    buf: bytearray, indices: np.ndarray, width: int, value: int
+) -> None:
+    """Overwrite many packed-bit slots at once (vectorized scrub).
+
+    Equivalent to calling :func:`set_packed_value` per index, but the
+    read-modify-write happens as one ``unpackbits``/scatter/``packbits``
+    pass over the buffer, which is what the deletion-compliance masker
+    wants when a whole batch of rows is scrubbed from a page.
+    """
+    if width == 0 or len(indices) == 0:
+        return
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    indices = np.asarray(indices, dtype=np.int64)
+    bits = np.unpackbits(
+        np.frombuffer(bytes(buf), dtype=np.uint8), bitorder="little"
+    )
+    slots = (indices[:, None] * width + np.arange(width)[None, :]).ravel()
+    value_bits = (
+        (np.uint64(value) >> np.arange(width, dtype=np.uint64))
+        & np.uint64(1)
+    ).astype(np.uint8)
+    bits[slots] = np.tile(value_bits, len(indices))
+    buf[:] = np.packbits(bits, bitorder="little").tobytes()
+
+
+def pack_bits_rows(matrix: np.ndarray, width: int) -> np.ndarray:
+    """Row-wise :func:`pack_bits`: pack a (k, n) uint64 matrix into a
+    (k, ceil(n*width/8)) uint8 matrix, one independent LSB-first bit
+    stream per row. Lets block codecs (FastPFOR/FastBP128/FOR) pack all
+    same-width blocks in a single numpy pass instead of per-block calls.
+    """
+    k, n = matrix.shape
+    if width == 0 or n == 0 or k == 0:
+        return np.zeros((k, (n * width + 7) // 8), dtype=np.uint8)
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = (
+        (matrix[:, :, None] >> shifts[None, None, :]) & np.uint64(1)
+    ).astype(np.uint8)
+    return np.packbits(bits.reshape(k, n * width), axis=1, bitorder="little")
+
+
+def unpack_bits_rows(rows: np.ndarray, width: int, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits_rows`: (k, nbytes) -> (k, n) uint64."""
+    k = rows.shape[0]
+    if width == 0 or n == 0 or k == 0:
+        return np.zeros((k, n), dtype=np.uint64)
+    bits = np.unpackbits(rows, axis=1, bitorder="little")[:, : n * width]
+    padded = np.zeros((k, n, 64), dtype=np.uint8)
+    padded[:, :, :width] = bits.reshape(k, n, width)
+    return (
+        np.packbits(padded.reshape(k, n * 64), axis=1, bitorder="little")
+        .reshape(k, n, 8)
+        .view("<u8")
+        .reshape(k, n)
+    )
 
 
 def get_packed_value(buf: bytes, index: int, width: int) -> int:

@@ -1,0 +1,297 @@
+"""Golden-bytes regression fixtures: the on-disk format is frozen.
+
+Every hash below was produced by the *seed* encoders (pre-vectorization)
+on fixed-seed workloads. The vectorized kernels must reproduce the exact
+same bytes: footer checksums, Merkle leaves and the §2.1 deletion-scrub
+alignment invariants all depend on them. A hash mismatch here means the
+rewrite changed the format, not just the speed.
+
+zlib-backed schemes (bitshuffle, chunked, and ALP's front-bits fallback)
+are deliberately absent: their bytes depend on the platform's zlib
+version, and the vectorization work does not touch them. For
+sparse_list_delta the bulk child is pinned to Varint for the same
+reason (its default Chunked child wraps zlib).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.encodings import (
+    ALP,
+    Chimp,
+    Constant,
+    Delta,
+    Dictionary,
+    FastBP128,
+    FastPFOR,
+    FixedBitWidth,
+    FrameOfReference,
+    FSST,
+    Gorilla,
+    Huffman,
+    ListEncoding,
+    MainlyConstant,
+    Nullable,
+    Pseudodecimal,
+    RLE,
+    Roaring,
+    Sentinel,
+    SparseBool,
+    SparseListDelta,
+    Trivial,
+    Varint,
+    ZigZag,
+    decode_blob,
+    encode_blob,
+)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def small_ints():
+    return _rng(101).integers(0, 64, 4096).astype(np.int64)
+
+
+def skewed_ints():
+    # zipf-like skew clipped to a modest alphabet: the Huffman sweet spot
+    return np.minimum(_rng(102).zipf(1.6, 4096), 500).astype(np.int64)
+
+
+def signed_ints():
+    return _rng(103).integers(-(10**9), 10**9, 4096).astype(np.int64)
+
+
+def sorted_ids():
+    return np.sort(_rng(104).integers(0, 10**12, 4096)).astype(np.int64)
+
+
+def run_ints():
+    g = _rng(105)
+    return np.repeat(g.integers(0, 8, 256), g.integers(1, 40, 256)).astype(
+        np.int64
+    )
+
+
+def outlier_ints():
+    g = _rng(106)
+    base = g.integers(0, 100, 4096)
+    spikes = g.random(4096) < 0.05
+    return np.where(spikes, g.integers(10**6, 10**9, 4096), base).astype(
+        np.int64
+    )
+
+
+def mostly_constant_ints():
+    g = _rng(107)
+    return np.where(g.random(4096) < 0.03, g.integers(0, 1000, 4096), 7).astype(
+        np.int64
+    )
+
+
+def masked_ints():
+    g = _rng(108)
+    return np.ma.MaskedArray(
+        g.integers(0, 1000, 2048).astype(np.int64), mask=g.random(2048) < 0.2
+    )
+
+
+def smooth_series():
+    return 20.0 + np.cumsum(_rng(109).normal(0, 0.01, 4096))
+
+
+def smooth_series32():
+    return smooth_series().astype(np.float32)
+
+
+def series_with_specials():
+    data = smooth_series()
+    data[7] = np.inf
+    data[19] = -np.inf
+    data[23] = np.nan
+    data[101] = np.float64(np.float32(np.nan))
+    data[1000] = 0.0
+    data[1001] = -0.0
+    return data
+
+
+def decimal_floats():
+    return np.round(_rng(110).uniform(-1000, 1000, 4096), 2)
+
+
+def sparse_bools():
+    return _rng(111).random(200_000) < 0.005
+
+
+def dense_bools():
+    return _rng(112).random(200_000) < 0.6
+
+
+def url_strings():
+    g = _rng(113)
+    return [
+        f"https://example.com/watch?v={int(g.integers(0, 300))}"
+        f"&session={int(g.integers(0, 50))}".encode()
+        for _ in range(2000)
+    ]
+
+
+def binary_strings():
+    # raw bytes incl. 0xFF so the FSST escape path is pinned down
+    g = _rng(114)
+    return [bytes(g.integers(0, 256, int(g.integers(0, 60))).astype(np.uint8))
+            for _ in range(500)]
+
+
+def int_lists():
+    g = _rng(115)
+    return [
+        g.integers(0, 10**6, int(g.integers(0, 40))).astype(np.int64)
+        for _ in range(200)
+    ]
+
+
+def sliding_windows():
+    g = _rng(116)
+    window = list(g.integers(0, 10**6, 256))
+    rows = []
+    for _ in range(150):
+        window = ([int(g.integers(0, 10**6))] + window)[:256]
+        rows.append(np.array(window, dtype=np.int64))
+    return rows
+
+
+def two_symbols():
+    return np.resize(np.array([3, 11], dtype=np.int64), 1001)
+
+
+def one_symbol():
+    return np.full(513, 42, dtype=np.int64)
+
+
+#: (case id, encoding factory, workload builder) — ids are stable keys
+CASES = [
+    ("trivial/signed", Trivial, signed_ints),
+    ("fixed_bit_width/small", FixedBitWidth, small_ints),
+    ("varint/small", Varint, small_ints),
+    ("varint/outliers", Varint, outlier_ints),
+    ("zigzag/signed", ZigZag, signed_ints),
+    ("rle/runs", RLE, run_ints),
+    ("dictionary/small", Dictionary, small_ints),
+    ("dictionary/urls", Dictionary, url_strings),
+    ("delta/sorted", Delta, sorted_ids),
+    ("for/signed", FrameOfReference, signed_ints),
+    ("huffman/small", Huffman, small_ints),
+    ("huffman/skewed", Huffman, skewed_ints),
+    ("huffman/two_symbols", Huffman, two_symbols),
+    ("huffman/one_symbol", Huffman, one_symbol),
+    ("fastpfor/small", FastPFOR, small_ints),
+    ("fastpfor/outliers", FastPFOR, outlier_ints),
+    ("fastbp128/small", FastBP128, small_ints),
+    ("fastbp128/outliers", FastBP128, outlier_ints),
+    ("constant/const", Constant, one_symbol),
+    ("mainly_constant/mostly", MainlyConstant, mostly_constant_ints),
+    ("nullable/masked", Nullable, masked_ints),
+    ("sentinel/masked", Sentinel, masked_ints),
+    ("sparse_bool/sparse", SparseBool, sparse_bools),
+    ("roaring/sparse", Roaring, sparse_bools),
+    ("roaring/dense", Roaring, dense_bools),
+    ("fsst/urls", FSST, url_strings),
+    ("fsst/binary", FSST, binary_strings),
+    ("gorilla/series", Gorilla, smooth_series),
+    ("gorilla/series32", Gorilla, smooth_series32),
+    ("gorilla/specials", Gorilla, series_with_specials),
+    ("chimp/series", Chimp, smooth_series),
+    ("chimp/series32", Chimp, smooth_series32),
+    ("chimp/specials", Chimp, series_with_specials),
+    ("pseudodecimal/decimals", Pseudodecimal, decimal_floats),
+    ("alp/decimals", ALP, decimal_floats),
+    ("list/lists", ListEncoding, int_lists),
+    (
+        "sparse_list_delta/windows",
+        lambda: SparseListDelta(bulk_child=Varint()),
+        sliding_windows,
+    ),
+]
+
+#: sha256 of the seed encoders' blobs — regenerate ONLY for a deliberate
+#: format change: python -c "from tests.test_encodings_golden import *; print_golden()"
+GOLDEN = {
+    "trivial/signed": "59c11efb85527b81c511d7c8d79c1634a26cfbf34d8cee60248597d9ce94c5a5",
+    "fixed_bit_width/small": "4789410e7e10cacf0627f79aedc7a2c3db6acd0056b78ea81678bdec83af8f95",
+    "varint/small": "d7025187af7f696139bee14d052dd56ae2b74da315c80b558b574954d45b0c20",
+    "varint/outliers": "691d2478163f34eec386040d979c3d4e317dd8c99136fc43f6f59faea5fada73",
+    "zigzag/signed": "36a810643248e115465a2934227d72fddc1e1dc664af5c6a18b96bb5b9529ab1",
+    "rle/runs": "a0354d46a6399d9877184e121cf07fc14a969f37ea329cbb8fba77cfd91bf894",
+    "dictionary/small": "f649fb16fe0a411934af29a304f6589ea857eec7f792b5cf4a0ce3fccfb2aadb",
+    "dictionary/urls": "11e7f4126bc573a95a9aa45f1b563372804b7d099467c989f907512b53f1392b",
+    "delta/sorted": "c5e4872180b246334583c9e369f9fb5d478c4d8575e64ea4825c25035f54ae12",
+    "for/signed": "21c0877d228451c6d271a69a33aac828fc7832ef4e50c0533c2d5b265efd7f4d",
+    "huffman/small": "474a4930239061ff16527c20240cf002a250f2234cd1d4e2eb45ccafd1f1e9f8",
+    "huffman/skewed": "8157df571879ce0b37dfadfe0f347d51557a5cc8004cfdfc27972d72ecfb50cb",
+    "huffman/two_symbols": "e1141756a6a7dc098d6c547ed20797993832b4205ce5b10bc0bc985fc4ed1508",
+    "huffman/one_symbol": "987ed7357523213467df69ebb62601c41d3bbef881b10bded2d68117f1595330",
+    "fastpfor/small": "304dbd43ec121f2a3b9aea27be1d2cae46ec115fa006912fafa1ac5519baa527",
+    "fastpfor/outliers": "b0de7802b7bf829ae64fc2ffd663506b26144d3e19b5720614557c8340707b13",
+    "fastbp128/small": "63043950d32d9782546e29a9a27fcd047a8966d056e5e81356d3b340d49c4b04",
+    "fastbp128/outliers": "1096667db1d83f28ea543fdbdd0463d013f841f43f67e705e7ce561ee547b69a",
+    "constant/const": "8a5d2ff99d14369c9902eae99ce12f294da448acce6d67adcf95a458e3a60a68",
+    "mainly_constant/mostly": "f7f4a23f511b7311c335ea7438e8fb49bf6f5c7a79a68d3c3db7ce776471bef7",
+    "nullable/masked": "bdbdc6b28ab97092ffde8632d02225f5a867aea39a03963e03bfef66661bc2e9",
+    "sentinel/masked": "8c800b2badeaba1903f1428254deadbe716c340eb2ad6098de9b29c703525b26",
+    "sparse_bool/sparse": "955097302ed8ed615140c14daa7d08492c712f74ead7b3cffc8d306db3dc56c7",
+    "roaring/sparse": "f4bb109f841b0a1c5fc55d48fe760bec2ad8aec1a8cf67dd0904bbbc847aaa8f",
+    "roaring/dense": "1846b29851c76c899f75988c30390ca23765b699cb23d220af4eab1cd54cc61d",
+    "fsst/urls": "63789c207265327c1603406f0686f26bd440e153b409e0860c286eee7b0f0d0b",
+    "fsst/binary": "6459449d3c713cfb21e90d485c737feb2867f6ee8f8375f8b38ca48c438240d3",
+    "gorilla/series": "228d8a1876e56f6f0ec760cedd999b95692b15b710d28af96e837b8d1827e29a",
+    "gorilla/series32": "5abc5794db98df9ca219215cce1601641a8ef64d84877a4e23b95f405c15f33a",
+    "gorilla/specials": "66cc99f9f7f57e5185d57ba9d20a53caf53bc4356e6d3e594cfd20c9dadec80c",
+    "chimp/series": "8cc8578b150c2d53a2107fc78772611d05f84d90962565c1015aa82c2637352a",
+    "chimp/series32": "1904d8e3449213f4b46181f03e0a2bde3e766f620e993eb3a633b6a2d1912f00",
+    "chimp/specials": "adf91ecc89b5256b1abe1249c78dbdbc79548dcea9eef90ec28fcb6da70ce01c",
+    "pseudodecimal/decimals": "2774f220abe1270e265224640ad5c19a777815dba235d3a9f771247e0f03a55c",
+    "alp/decimals": "a74930102fc3446e3678512d5e3b2e31f7c11451b1ca77a30be61b840226984f",
+    "list/lists": "3f07f328a17bc353b0a6ed23b7a58ca14c1660c438f3469a7fda446ff05c5db1",
+    "sparse_list_delta/windows": "409db45ff5be1cdc3988c364bd46a1dbe6bbc5b411a7762e0165733d6a1f0f9d",
+}
+
+
+def blob_for(case_id: str) -> bytes:
+    factory, builder = next(
+        (f, b) for cid, f, b in CASES if cid == case_id
+    )
+    return encode_blob(builder(), factory())
+
+
+def print_golden() -> None:  # pragma: no cover - regeneration helper
+    for case_id, factory, builder in CASES:
+        digest = hashlib.sha256(encode_blob(builder(), factory())).hexdigest()
+        print(f'    "{case_id}": "{digest}",')
+
+
+@pytest.mark.parametrize("case_id", [c[0] for c in CASES])
+def test_golden_bytes(case_id):
+    factory, builder = next((f, b) for cid, f, b in CASES if cid == case_id)
+    data = builder()
+    blob = encode_blob(data, factory())
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN[case_id], (
+        f"{case_id}: encoder output changed — the on-disk format is frozen; "
+        "a vectorized kernel must be byte-identical to the seed encoder"
+    )
+    # and the frozen bytes still decode to the source values
+    out = decode_blob(blob)
+    if isinstance(data, np.ma.MaskedArray):
+        assert np.array_equal(
+            np.ma.getmaskarray(out), np.ma.getmaskarray(data)
+        )
+        assert np.array_equal(out.filled(0), data.filled(0))
+    elif isinstance(data, np.ndarray):
+        assert np.array_equal(out, data, equal_nan=data.dtype.kind == "f")
+    elif data and isinstance(data[0], np.ndarray):
+        assert all(np.array_equal(a, b) for a, b in zip(out, data))
+    else:
+        assert list(out) == list(data)

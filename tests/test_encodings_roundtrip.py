@@ -281,3 +281,72 @@ def test_property_bool_catalog(values):
     for enc in (SparseBool(), Roaring(), RLE()):
         out = decode_blob(encode_blob(data, enc))
         assert np.array_equal(np.asarray(out, dtype=np.bool_), data)
+
+
+class TestEdgeCases:
+    """Boundary shapes the vectorized kernels must get exactly right:
+    single values, all-equal runs, int64 extremes, and IEEE specials.
+    """
+
+    @pytest.mark.parametrize(
+        "encoding", INT_ENCODINGS + NONNEG_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_len1_int(self, encoding):
+        data = np.array([7], dtype=np.int64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding", FLOAT_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_len1_float(self, encoding):
+        data = np.array([3.25], dtype=np.float64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding", INT_ENCODINGS + NONNEG_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_all_equal_int(self, encoding):
+        data = np.full(513, 42, dtype=np.int64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding", FLOAT_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_all_equal_float(self, encoding):
+        data = np.full(257, -1.5, dtype=np.float64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding", INT_ENCODINGS + NONNEG_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_int64_max(self, encoding):
+        data = np.array([0, 2**63 - 1, 1, 2**63 - 1, 0], dtype=np.int64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding",
+        [Trivial(), FixedBitWidth(), ZigZag(), RLE(), Dictionary(),
+         Chunked(), BitShuffle()],
+        ids=lambda e: e.name,
+    )
+    def test_int64_min(self, encoding):
+        data = np.array([-(2**63), 0, 2**63 - 1], dtype=np.int64)
+        assert_equal_values(decode_blob(encode_blob(data, encoding)), data)
+
+    @pytest.mark.parametrize(
+        "encoding", FLOAT_ENCODINGS, ids=lambda e: e.name
+    )
+    def test_float_specials(self, encoding):
+        data = np.array(
+            [0.0, -0.0, np.inf, -np.inf, np.nan, 1.0, np.nan],
+            dtype=np.float64,
+        )
+        out = decode_blob(encode_blob(data, encoding))
+        assert isinstance(out, np.ndarray) and out.dtype == np.float64
+        assert np.array_equal(out, data, equal_nan=True)
+        # bit-level codecs must keep -0.0 bit-exact; pseudodecimal and
+        # mainly_constant operate on values and canonicalize zero sign
+        if encoding.name not in {"pseudodecimal", "mainly_constant"}:
+            assert np.array_equal(
+                out.view(np.uint64), data.view(np.uint64)
+            )
