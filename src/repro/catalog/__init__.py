@@ -29,6 +29,19 @@ from repro.catalog.maintenance import (
     MaintenanceReport,
     MaintenanceService,
 )
+from repro.catalog.schema_evolution import (
+    AddColumn,
+    CatalogMetadataError,
+    DropColumn,
+    FileResolution,
+    RenameColumn,
+    ResolvedReader,
+    SchemaColumn,
+    SchemaLog,
+    SchemaLogError,
+    TableSchema,
+    WidenColumn,
+)
 from repro.catalog.snapshot import (
     ColumnStats,
     DataFile,
@@ -58,6 +71,17 @@ __all__ = [
     "Snapshot",
     "DataFile",
     "ColumnStats",
+    "TableSchema",
+    "SchemaColumn",
+    "SchemaLog",
+    "FileResolution",
+    "ResolvedReader",
+    "AddColumn",
+    "DropColumn",
+    "RenameColumn",
+    "WidenColumn",
+    "CatalogMetadataError",
+    "SchemaLogError",
     "snapshot_name",
     "parse_snapshot_name",
     "CatalogStore",

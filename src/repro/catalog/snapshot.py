@@ -19,6 +19,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from repro.catalog.schema_evolution import (
+    CatalogMetadataError,
+    FileResolution,
+    TableSchema,
+)
 from repro.expr import (
     Expr,
     Interval,
@@ -72,6 +77,9 @@ class DataFile:
     schema_fingerprint: int
     #: per-column file-level [min, max]; None for pre-stats manifests
     column_stats: "dict[str, ColumnStats] | None" = None
+    #: schema-log id this file was written under; None for legacy
+    #: manifests that predate the schema log (one frozen schema)
+    schema_id: "int | None" = None
 
     @property
     def live_rows(self) -> int:
@@ -81,7 +89,9 @@ class DataFile:
     def deleted_fraction(self) -> float:
         return self.deleted_count / self.row_count if self.row_count else 0.0
 
-    def might_match(self, where: Expr) -> bool:
+    def might_match(
+        self, where: Expr, resolution: "FileResolution | None" = None
+    ) -> bool:
         """Can any row of this file possibly satisfy ``where``?
 
         Conservative manifest-level answer — the first pushdown layer,
@@ -89,9 +99,11 @@ class DataFile:
         manifests, statistics-free writers, stats-less columns) always
         report True.
         """
-        return self.classify(where) is not TriState.NEVER
+        return self.classify(where, resolution) is not TriState.NEVER
 
-    def classify(self, where: Expr) -> TriState:
+    def classify(
+        self, where: Expr, resolution: "FileResolution | None" = None
+    ) -> TriState:
         """Tri-state manifest verdict for ``where`` over this file.
 
         ``NEVER`` — provably no matching row (the file is prunable);
@@ -99,7 +111,19 @@ class DataFile:
         engine answer counts and extrema from the manifest alone;
         ``MAYBE`` — open the file and let finer layers decide. Files
         without statistics are always ``MAYBE``.
+
+        ``where`` speaks current-schema names; when the file was
+        written under an older schema version, ``resolution`` remaps
+        each reference to the stored column's stats — a column the
+        file never stored gets no interval, which the evaluator treats
+        as ``MAYBE`` (evolution can never prune wrongly).
         """
+        if resolution is not None:
+            intervals = {
+                name: resolution.interval_for(name, self.column_stats)
+                for name in where.columns()
+            }
+            return evaluate_interval(where, intervals)
         if self.column_stats is None:
             return TriState.MAYBE
         intervals = {
@@ -121,11 +145,14 @@ class DataFile:
                 name: stats.to_dict()
                 for name, stats in sorted(self.column_stats.items())
             }
+        if self.schema_id is not None:
+            doc["schema_id"] = self.schema_id
         return doc
 
     @staticmethod
     def from_dict(d: dict) -> "DataFile":
         raw_stats = d.get("column_stats")
+        raw_schema_id = d.get("schema_id")
         return DataFile(
             file_id=d["file_id"],
             row_count=int(d["row_count"]),
@@ -140,6 +167,9 @@ class DataFile:
                     for name, s in raw_stats.items()
                 }
             ),
+            schema_id=(
+                None if raw_schema_id is None else int(raw_schema_id)
+            ),
         )
 
 
@@ -153,6 +183,11 @@ class Snapshot:
     operation: str
     files: tuple[DataFile, ...] = ()
     summary: dict = field(default_factory=dict)
+    #: schema log: every schema version the files reference, plus the
+    #: current one. Empty for legacy (pre-evolution) snapshots, whose
+    #: files all share one frozen fingerprint.
+    schemas: tuple[TableSchema, ...] = ()
+    current_schema_id: "int | None" = None
 
     # -- aggregates -----------------------------------------------------
     @property
@@ -180,21 +215,58 @@ class Snapshot:
             "files": [f.to_dict() for f in self.files],
             "summary": self.summary,
         }
+        # emitted only when the table has evolved: legacy tables keep
+        # writing (and re-reading) byte-identical manifests
+        if self.schemas:
+            doc["schemas"] = [s.to_dict() for s in self.schemas]
+        if self.current_schema_id is not None:
+            doc["current_schema_id"] = self.current_schema_id
         return json.dumps(doc, indent=1, sort_keys=True).encode()
 
     @staticmethod
     def from_json(data: bytes) -> "Snapshot":
-        doc = json.loads(data)
-        return Snapshot(
-            snapshot_id=int(doc["snapshot_id"]),
-            parent_id=(
-                None if doc["parent_id"] is None else int(doc["parent_id"])
-            ),
-            timestamp_ms=int(doc["timestamp_ms"]),
-            operation=doc["operation"],
-            files=tuple(DataFile.from_dict(d) for d in doc["files"]),
-            summary=dict(doc.get("summary", {})),
-        )
+        """Parse one snapshot manifest.
+
+        Any malformation — bad JSON, missing keys, corrupt schema-log
+        entries — surfaces as :class:`CatalogMetadataError`, never a
+        bare ``KeyError``/``TypeError``: manifest bytes come from
+        storage and may be truncated or damaged.
+        """
+        try:
+            doc = json.loads(data)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CatalogMetadataError(
+                f"snapshot manifest is not valid JSON: {exc}"
+            ) from exc
+        try:
+            snapshot = Snapshot(
+                snapshot_id=int(doc["snapshot_id"]),
+                parent_id=(
+                    None
+                    if doc["parent_id"] is None
+                    else int(doc["parent_id"])
+                ),
+                timestamp_ms=int(doc["timestamp_ms"]),
+                operation=doc["operation"],
+                files=tuple(DataFile.from_dict(d) for d in doc["files"]),
+                summary=dict(doc.get("summary", {})),
+                schemas=tuple(
+                    TableSchema.from_dict(s)
+                    for s in doc.get("schemas", ())
+                ),
+                current_schema_id=(
+                    None
+                    if doc.get("current_schema_id") is None
+                    else int(doc["current_schema_id"])
+                ),
+            )
+        except CatalogMetadataError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CatalogMetadataError(
+                f"malformed snapshot manifest: {exc!r}"
+            ) from exc
+        return snapshot
 
 
 def snapshot_name(snapshot_id: int) -> str:

@@ -21,6 +21,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.catalog.schema_evolution import (
+    EvolutionOp,
+    ResolvedReader,
+    SchemaLog,
+    TableSchema,
+    fill_values,
+)
 from repro.catalog.snapshot import (
     Snapshot,
     parse_snapshot_name,
@@ -65,6 +72,9 @@ class PinnedSnapshot:
         #: file_id -> open reader; populated lazily, and only for files
         #: a scan actually needs (pruned files are never opened)
         self._reader_cache: dict[str, BullionReader] = {}
+        #: file_id -> ResolvedReader facade for old-schema files
+        self._resolved_cache: dict[str, ResolvedReader] = {}
+        self._log: SchemaLog | None = None
         self._storages: list = []
         self._released = False
 
@@ -73,6 +83,7 @@ class PinnedSnapshot:
         if not self._released:
             self._released = True
             self._reader_cache = {}
+            self._resolved_cache = {}
             for storage in self._storages:
                 close = getattr(storage, "close", None)
                 if close is not None:  # FileStorage holds an fd
@@ -98,19 +109,46 @@ class PinnedSnapshot:
             self._reader_cache[file_id] = reader
         return reader
 
+    def schema_log(self) -> SchemaLog:
+        """The snapshot's schema log (legacy snapshots: empty log)."""
+        if self._log is None:
+            self._log = SchemaLog.from_snapshot(self.snapshot)
+        return self._log
+
+    def current_schema(self) -> TableSchema | None:
+        return self.schema_log().current()
+
+    def _resolved_reader_for(self, data_file):
+        """The reader every read path uses: the raw reader when the
+        file is already at the current schema, else a
+        :class:`ResolvedReader` presenting it as the current schema."""
+        resolution = self.schema_log().resolution(data_file)
+        if resolution is None:
+            return self._reader_for(data_file.file_id)
+        resolved = self._resolved_cache.get(data_file.file_id)
+        if resolved is None:
+            resolved = ResolvedReader(
+                self._reader_for(data_file.file_id), resolution
+            )
+            self._resolved_cache[data_file.file_id] = resolved
+        return resolved
+
     def readers(self) -> list[BullionReader]:
-        return [self._reader_for(f.file_id) for f in self.snapshot.files]
+        return [self._resolved_reader_for(f) for f in self.snapshot.files]
 
     def prune_files(self, where) -> tuple[list, list]:
         """Split the snapshot's files into (kept, pruned) for ``where``.
 
         Decided purely from manifest column statistics — the first
         pushdown layer; pruned files are never opened. Conservative:
-        files without stats are always kept.
+        files without stats are always kept, and a column an
+        old-schema file never stored yields no interval (``MAYBE``).
         """
+        log = self.schema_log()
         kept, pruned = [], []
         for f in self.snapshot.files:
-            (kept if f.might_match(where) else pruned).append(f)
+            (kept if f.might_match(where, log.resolution(f)) else pruned
+             ).append(f)
         return kept, pruned
 
     def scan(self, columns: list[str], **scan_kwargs):
@@ -135,7 +173,7 @@ class PinnedSnapshot:
         chunks = (
             batch
             for f in files
-            for batch in self._reader_for(f.file_id).scan(
+            for batch in self._resolved_reader_for(f).scan(
                 columns, **scan_kwargs
             )
         )
@@ -156,13 +194,20 @@ class PinnedSnapshot:
         tables = list(self.scan(columns, **scan_kwargs))
         if tables:
             return concat_tables(tables)
+        widen = scan_kwargs.get("widen_quantized", False)
+        current = self.current_schema()
+        if current is not None:
+            # evolved table: the current schema types the empty result
+            # without touching any file at all
+            return Table({
+                name: fill_values(current.column(name).type, 0, widen)
+                for name in columns
+            })
         if not self.snapshot.files:
             return Table({})
-        reader = self._reader_for(self.snapshot.files[0].file_id)
+        reader = self._resolved_reader_for(self.snapshot.files[0])
         return reader.scan(
-            columns,
-            row_groups=[],
-            widen_quantized=scan_kwargs.get("widen_quantized", False),
+            columns, row_groups=[], widen_quantized=widen
         ).to_table()
 
     def query(
@@ -229,7 +274,7 @@ class _PrunedFileSet:
         self._files = list(files)
 
     def readers(self) -> list[BullionReader]:
-        return [self._pinned._reader_for(f.file_id) for f in self._files]
+        return [self._pinned._resolved_reader_for(f) for f in self._files]
 
 
 class CatalogTable:
@@ -356,6 +401,38 @@ class CatalogTable:
             table, rows_per_shard, schema=schema, options=options
         )
         return txn.commit()
+
+    def evolve(self, *ops: EvolutionOp) -> Snapshot:
+        """Commit a schema evolution (add/drop/rename/widen columns)."""
+        txn = self.transaction()
+        try:
+            txn.evolve(*ops)
+        except BaseException:
+            txn.abort()
+            raise
+        return txn.commit()
+
+    def upsert(
+        self,
+        table: Table,
+        key: str,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> Snapshot:
+        """Keyed upsert committed as one snapshot; see
+        :meth:`Transaction.upsert`."""
+        txn = self.transaction()
+        try:
+            txn.upsert(table, key, schema=schema, options=options)
+        except BaseException:
+            txn.abort()
+            raise
+        return txn.commit()
+
+    def current_schema(self) -> TableSchema | None:
+        """HEAD's current schema version (None: never evolved)."""
+        snap = self.current_snapshot()
+        return SchemaLog.from_snapshot(snap).current()
 
     def delete(self, predicate: "Expr | Predicate") -> Snapshot:
         """Delete rows matching an expression (or legacy range).

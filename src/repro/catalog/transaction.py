@@ -25,8 +25,19 @@ validation failure) deletes the staged data files so nothing leaks.
 
 from __future__ import annotations
 
+from dataclasses import replace as _replace
+
 import numpy as np
 
+from repro.catalog.schema_evolution import (
+    EvolutionOp,
+    ResolvedReader,
+    SchemaLog,
+    SchemaLogError,
+    TableSchema,
+    apply_ops,
+    schema_from_footer,
+)
 from repro.catalog.snapshot import ColumnStats, DataFile, Snapshot, snapshot_name
 from repro.core.compact import CompactionReport, compact as compact_file
 from repro.core.dataset import ShardedDataset
@@ -35,7 +46,7 @@ from repro.core.reader import BullionReader, Predicate
 from repro.core.schema import Schema, stats_kind
 from repro.core.table import Table
 from repro.core.writer import BullionWriter, WriterOptions
-from repro.expr import Expr, as_expr, evaluate as evaluate_expr
+from repro.expr import Expr, as_expr, col, evaluate as evaluate_expr
 from repro.iosim import Storage
 
 
@@ -84,6 +95,24 @@ def data_file_entry(storage: Storage, file_id: str) -> DataFile:
     )
 
 
+def _adopt_legacy_files(
+    files: list[DataFile], schemas: dict[int, TableSchema]
+) -> list[DataFile]:
+    """Tag files that predate the schema log with the version whose
+    fingerprint they match (the bootstrap guarantees one exists for
+    every legacy file); unmatched files stay untagged and read as-is.
+    """
+    by_fingerprint = {s.fingerprint(): s.schema_id for s in schemas.values()}
+    out = []
+    for f in files:
+        if f.schema_id is None:
+            sid = by_fingerprint.get(f.schema_fingerprint)
+            if sid is not None:
+                f = _replace(f, schema_id=sid)
+        out.append(f)
+    return out
+
+
 class Transaction:
     """One atomic mutation of a :class:`~repro.catalog.CatalogTable`."""
 
@@ -98,6 +127,14 @@ class Transaction:
         self._ops: list[str] = []
         self._summary: dict = {}
         self._state = "open"  # open -> committed | aborted
+        # schema log as this transaction sees it: the base snapshot's
+        # log, plus any version evolve() stages. Empty + None for
+        # legacy tables that never evolved.
+        self._schemas: dict[int, TableSchema] = {
+            s.schema_id: s for s in self._base.schemas
+        }
+        self._current_schema_id: int | None = self._base.current_schema_id
+        self._evolved = False
 
     # -- staging helpers ------------------------------------------------
     def _require_open(self) -> None:
@@ -132,10 +169,37 @@ class Transaction:
             close_storage(storage)
         self._staged_storages = []
 
-    def add_file(self, storage: Storage, file_id: str) -> DataFile:
-        """Stage a finished Bullion file written via :meth:`new_data_file`."""
+    def add_file(
+        self,
+        storage: Storage,
+        file_id: str,
+        *,
+        schema_id: int | None = None,
+    ) -> DataFile:
+        """Stage a finished Bullion file written via :meth:`new_data_file`.
+
+        ``schema_id`` carries a rewrite's source version forward
+        (delete/compact copies keep the layout they were written
+        under); new files instead validate against — and adopt — the
+        table's current schema version.
+        """
         entry = data_file_entry(storage, file_id)
-        self._check_fingerprint(entry)
+        if schema_id is not None:
+            entry = _replace(entry, schema_id=schema_id)
+            self._added.append(entry)
+            return entry
+        current = self.current_schema()
+        if current is not None:
+            if entry.schema_fingerprint != current.fingerprint():
+                raise ValueError(
+                    f"schema fingerprint mismatch: file {entry.file_id!r} "
+                    f"({entry.schema_fingerprint:#x}) vs current schema "
+                    f"{current.schema_id} ({current.fingerprint():#x}); "
+                    f"evolve() the schema before appending a new layout"
+                )
+            entry = _replace(entry, schema_id=current.schema_id)
+        else:
+            self._check_fingerprint(entry)
         self._added.append(entry)
         return entry
 
@@ -149,6 +213,66 @@ class Transaction:
                 )
             break
 
+    # -- schema log -----------------------------------------------------
+    def current_schema(self) -> TableSchema | None:
+        """The schema version new appends must match (None: legacy)."""
+        if self._current_schema_id is None:
+            return None
+        return self._schemas[self._current_schema_id]
+
+    def schema_log(self) -> SchemaLog:
+        """The schema log as this transaction sees it."""
+        return SchemaLog(dict(self._schemas), self._current_schema_id)
+
+    def _bootstrap_schema(self) -> TableSchema:
+        """First evolution on a legacy table: reconstruct version 0
+        from a live file's footer (legacy snapshots guarantee every
+        file shares one frozen layout)."""
+        for entry in self.staged_files():
+            source = self._store.open_data(entry.file_id)
+            try:
+                footer = BullionReader(source).footer
+                return schema_from_footer(footer, schema_id=0)
+            finally:
+                close_storage(source)
+        raise SchemaLogError(
+            "cannot evolve an empty table with no schema history; "
+            "append data first to establish the base schema"
+        )
+
+    def evolve(self, *ops: EvolutionOp) -> TableSchema:
+        """Stage a schema evolution (add/drop/rename/widen columns).
+
+        Derives the next schema version from the current one and makes
+        it this transaction's current — subsequent appends must match
+        it, while every already-committed file keeps its own version
+        and is resolved at read time. The new version becomes a
+        committed evolution entry in the snapshot's schema log.
+        """
+        self._require_open()
+        if not ops:
+            raise SchemaLogError("evolve() needs at least one operation")
+        if self._current_schema_id is None:
+            base = self._bootstrap_schema()
+            self._schemas[base.schema_id] = base
+            self._current_schema_id = base.schema_id
+        current = self.current_schema()
+        next_field_id = (
+            max(s.max_field_id() for s in self._schemas.values()) + 1
+        )
+        new_schema = apply_ops(
+            current,
+            ops,
+            new_schema_id=max(self._schemas) + 1,
+            next_field_id=next_field_id,
+        )
+        self._schemas[new_schema.schema_id] = new_schema
+        self._current_schema_id = new_schema.schema_id
+        self._evolved = True
+        self._ops.append("evolve")
+        self._bump("schema_evolutions", 1)
+        return new_schema
+
     def _bump(self, key: str, amount: int) -> None:
         self._summary[key] = self._summary.get(key, 0) + amount
 
@@ -161,6 +285,12 @@ class Transaction:
     ) -> DataFile:
         """Write one new file holding ``table`` and stage it."""
         self._require_open()
+        if schema is None:
+            current = self.current_schema()
+            if current is not None:
+                # write the current version's exact physical layout —
+                # dtype inference must not drift from the schema log
+                schema = current.write_schema()
         file_id, storage = self.new_data_file()
         writer = BullionWriter(storage, schema=schema, options=options)
         writer.open()
@@ -228,13 +358,21 @@ class Transaction:
         self._require_open()
         where = as_expr(predicate)
         filter_columns = sorted(where.columns())
+        log = self.schema_log()
         total = 0
         for entry in self.staged_files():
-            if not entry.might_match(where):
+            resolution = log.resolution(entry)
+            if not entry.might_match(where, resolution):
                 continue  # manifest-level prune: file never opened
             source = self._store.open_data(entry.file_id)
             try:
                 reader = BullionReader(source)
+                if resolution is not None:
+                    # old-schema file: filter in current coordinates —
+                    # renames resolve, narrow values widen, absent
+                    # columns fill (so e.g. a predicate on an added
+                    # column simply matches its typed-null fill)
+                    reader = ResolvedReader(reader, resolution)
                 # a missing filter column raises, exactly like
                 # scan(where=...) — a typo'd name must not silently
                 # delete nothing
@@ -278,12 +416,83 @@ class Transaction:
                 ]
             else:
                 self._removed.add(entry.file_id)
-            self._added.append(data_file_entry(copy, new_id))
+            # the copy is byte-identical modulo scrubbed pages: it
+            # keeps the source's schema version
+            self._added.append(
+                _replace(
+                    data_file_entry(copy, new_id), schema_id=entry.schema_id
+                )
+            )
             total += len(rows)
         if total:  # zero matches stage nothing: no no-op snapshot
             self._ops.append("delete")
             self._bump("rows_deleted", total)
         return total
+
+    def upsert(
+        self,
+        table: Table,
+        key: str,
+        schema: Schema | None = None,
+        options: WriterOptions | None = None,
+    ) -> DataFile:
+        """Keyed upsert: replace rows matching ``table``'s keys, insert
+        the rest — one atomic snapshot.
+
+        Composes the existing machinery: manifest + zone-map pushdown
+        finds the victim files for ``key IN (batch keys)``, the §2.1
+        copy-on-write scrub deletes the old versions, and the batch is
+        appended as one new file. Keys must be exact-match types (int,
+        bool, string, bytes — float keys are rejected: NaN and rounding
+        make float equality a correctness trap) and unique within the
+        batch (duplicate keys would make the surviving row ambiguous).
+
+        Commits replay like deletes: concurrent appends abort the
+        transaction, because rows added after our key scan could hold a
+        key this batch claims to have replaced.
+        """
+        self._require_open()
+        if table.num_rows == 0:
+            raise ValueError("upsert of an empty batch")
+        if key not in table.columns:
+            raise ValueError(f"upsert key column {key!r} not in batch")
+        current = self.current_schema()
+        if current is not None and current.maybe_column(key) is None:
+            raise ValueError(
+                f"upsert key column {key!r} not in current schema"
+            )
+        raw_keys = table.column(key)
+        if isinstance(raw_keys, np.ndarray):
+            if raw_keys.dtype.kind == "f":
+                raise ValueError(
+                    f"upsert key column {key!r} is floating point; "
+                    f"float equality is not a safe upsert key"
+                )
+            keys = [v.item() for v in raw_keys]
+        else:
+            keys = list(raw_keys)
+            if any(isinstance(v, float) for v in keys):
+                raise ValueError(
+                    f"upsert key column {key!r} is floating point; "
+                    f"float equality is not a safe upsert key"
+                )
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                f"duplicate keys in upsert batch for {key!r}; "
+                f"the surviving row would be ambiguous"
+            )
+        # stage via delete + append, then relabel the pair as one
+        # logical "upsert" with its own summary counters
+        ops_mark = len(self._ops)
+        summary_before = dict(self._summary)
+        replaced = self.delete(col(key).isin(keys))
+        entry = self.append(table, schema=schema, options=options)
+        del self._ops[ops_mark:]
+        self._ops.append("upsert")
+        self._summary = summary_before
+        self._bump("rows_upserted", table.num_rows)
+        self._bump("rows_replaced", replaced)
+        return entry
 
     def compact(
         self,
@@ -322,7 +531,13 @@ class Transaction:
             else:
                 self._removed.add(entry.file_id)
             if report.rows_out > 0:
-                self._added.append(data_file_entry(target, new_id))
+                # compaction preserves layout: keep the source version
+                self._added.append(
+                    _replace(
+                        data_file_entry(target, new_id),
+                        schema_id=entry.schema_id,
+                    )
+                )
             # else: every row was deleted — drop the file from the
             # table; the staged empty rewrite is swept at commit
             rows_in += report.rows_in
@@ -385,10 +600,24 @@ class Transaction:
                     f"files {sorted(gone)} were replaced by a concurrent "
                     f"commit; transaction aborted"
                 )
-            if "delete" in self._ops:
-                # a delete's predicate never scanned files appended
-                # after its base snapshot — replaying over them would
-                # silently leave matching rows live, so abort instead
+            if (self._evolved or self._added) and (
+                head.schemas != self._base.schemas
+                or head.current_schema_id != self._base.current_schema_id
+            ):
+                # staged files were fingerprint-validated (and tagged)
+                # against our base's schema log; a concurrent evolution
+                # invalidates that — abort rather than commit files
+                # under a schema they were never checked against
+                self.abort()
+                raise CommitConflict(
+                    "the schema log changed under a concurrent commit; "
+                    "transaction aborted"
+                )
+            if {"delete", "upsert"} & set(self._ops):
+                # a delete's (or upsert's key-scan) predicate never
+                # scanned files appended after its base snapshot —
+                # replaying over them would silently leave matching
+                # rows live, so abort instead
                 unseen = (
                     head_ids
                     - self._base.file_ids()
@@ -404,6 +633,24 @@ class Transaction:
             files = [
                 f for f in head.files if f.file_id not in self._removed
             ] + list(self._added)
+            # schema log for the new snapshot: ours if we evolved,
+            # otherwise carried forward from HEAD
+            if self._evolved:
+                schemas, current_id = self._schemas, self._current_schema_id
+            else:
+                schemas = {s.schema_id: s for s in head.schemas}
+                current_id = head.current_schema_id
+            if current_id is not None:
+                files = _adopt_legacy_files(files, schemas)
+                referenced = {
+                    f.schema_id for f in files if f.schema_id is not None
+                }
+                referenced.add(current_id)
+                kept_schemas = tuple(
+                    schemas[i] for i in sorted(referenced) if i in schemas
+                )
+            else:
+                kept_schemas = ()
             snap = Snapshot(
                 snapshot_id=head.snapshot_id + 1,
                 parent_id=head.snapshot_id,
@@ -412,6 +659,8 @@ class Transaction:
                 operation=",".join(dict.fromkeys(self._ops)) or "add-files",
                 files=tuple(files),
                 summary=dict(self._summary),
+                schemas=kept_schemas,
+                current_schema_id=current_id,
             )
             if self._store.put_metadata(
                 snapshot_name(snap.snapshot_id), snap.to_json()

@@ -23,9 +23,33 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.reader import BullionReader
+from repro.core.schema import Field, LogicalType, Schema
 from repro.core.table import Table
 from repro.core.writer import BullionWriter, WriterOptions
 from repro.iosim import Storage
+
+
+def layout_schema(reader: BullionReader) -> Schema:
+    """A schema that reproduces ``reader``'s physical layout exactly.
+
+    Rewrites must not re-infer types from decoded payloads: a BF16/FP8
+    column decodes to raw integer payloads, and inference would turn it
+    into an int column with a different fingerprint. The footer's own
+    logical schema is authoritative — except for files written under a
+    quantization *policy*, where the logical section still records the
+    pre-quantization float type; there the physical columns are the
+    truth and the rewrite adopts them as its logical fields.
+    """
+    schema = reader.footer.schema()
+    physical = reader.footer.physical_columns()
+    derived = schema.physical_columns()
+    if [(c.name, str(c.type)) for c in derived] == [
+        (c.name, str(c.type)) for c in physical
+    ]:
+        return schema
+    return Schema(
+        [Field(c.name, LogicalType.parse(str(c.type))) for c in physical]
+    )
 
 
 @dataclass(frozen=True)
@@ -49,7 +73,9 @@ def compact(
     reader = BullionReader(source)
     names = reader.column_names()
     table = reader.project(names, drop_deleted=True)
-    BullionWriter(target, options=options or WriterOptions()).write(table)
+    BullionWriter(
+        target, schema=layout_schema(reader), options=options or WriterOptions()
+    ).write(table)
     return CompactionReport(
         rows_in=reader.num_rows,
         rows_out=table.num_rows,
@@ -68,12 +94,14 @@ def merge(
         raise ValueError("nothing to merge")
     tables = []
     names: list[str] | None = None
+    schema: Schema | None = None
     rows_in = 0
     bytes_in = 0
     for src in sources:
         reader = BullionReader(src)
         if names is None:
             names = reader.column_names()
+            schema = layout_schema(reader)
         elif reader.column_names() != names:
             raise ValueError("cannot merge files with different columns")
         tables.append(reader.project(names, drop_deleted=True))
@@ -90,7 +118,9 @@ def merge(
                 out.extend(p)
             merged[name] = out
     table = Table(merged)
-    BullionWriter(target, options=options or WriterOptions()).write(table)
+    BullionWriter(
+        target, schema=schema, options=options or WriterOptions()
+    ).write(table)
     return CompactionReport(
         rows_in=rows_in,
         rows_out=table.num_rows,

@@ -624,8 +624,17 @@ def aggregate_reader(
     )
 
 
-def _file_stats_of(data_file):
-    """``stats_of`` callback over one manifest entry's column stats."""
+def _file_stats_of(data_file, resolution=None):
+    """``stats_of`` callback over one manifest entry's column stats.
+
+    With a schema ``resolution`` (old-schema file in an evolved
+    snapshot) lookups remap current names to the stored column's
+    stats; columns the file never stored report no stats, which makes
+    :func:`_meta_partial` refuse and the engine fall back to decode —
+    where the typed-null fills produce the right answer.
+    """
+    if resolution is not None:
+        return resolution.stats_of(data_file.column_stats)
 
     def stats_of(name: str):
         if data_file.column_stats is None:
@@ -636,6 +645,24 @@ def _file_stats_of(data_file):
         return (stats.min_value, stats.max_value, stats.kind)
 
     return stats_of
+
+
+def _kinds_from_schema(plan: QueryPlan, schema) -> dict:
+    """Column kinds straight from the current table schema — the
+    authority on evolved snapshots, where manifest stats are keyed by
+    *stored* (possibly renamed) column names."""
+    kinds: dict = {}
+    for name in plan.agg_columns():
+        column = schema.maybe_column(name)
+        if column is None:
+            continue
+        ptype = column.type
+        kinds[name] = (
+            "bytes"
+            if ptype.primitive in _BYTES_PRIMS and ptype.list_depth == 0
+            else stats_kind(ptype)
+        )
+    return kinds
 
 
 def aggregate_snapshot(
@@ -661,13 +688,17 @@ def aggregate_snapshot(
     files = list(pinned.snapshot.files)
     stats.files_total = len(files)
 
+    log = pinned.schema_log()
+    current_schema = log.current()
+
     #: per file: ("meta", partial) | ("skip",) | ("task", reader)
     dispositions = []
     for f in files:
+        resolution = log.resolution(f)
         verdict = (
             TriState.ALWAYS
             if plan.where is None
-            else f.classify(plan.where)
+            else f.classify(plan.where, resolution)
         )
         if verdict is TriState.NEVER:
             stats.files_pruned += 1
@@ -681,15 +712,18 @@ def aggregate_snapshot(
             and verdict is TriState.ALWAYS
             and f.deleted_count == 0
         ):
-            meta = _meta_partial(plan, f.row_count, _file_stats_of(f))
+            meta = _meta_partial(
+                plan, f.row_count, _file_stats_of(f, resolution)
+            )
         if meta is not None:
             stats.files_meta_answered += 1
             stats.rows_from_metadata += f.row_count
             dispositions.append(("meta", meta))
         else:
             # open (footer pread) on the coordinator so the pin's
-            # reader cache is never touched from worker threads
-            dispositions.append(("task", pinned._reader_for(f.file_id)))
+            # reader cache is never touched from worker threads;
+            # old-schema files get their resolver facade here
+            dispositions.append(("task", pinned._resolved_reader_for(f)))
     tasks = [d for d in dispositions if d[0] == "task"]
     # parallelism budget: across files when several decode, inside the
     # scan when only one does (scan yields groups in order either way,
@@ -723,7 +757,11 @@ def aggregate_snapshot(
                 results[i] = run_file(reader)
 
     partial: dict = {}
-    kinds = _kinds_from_manifest(plan, files)
+    kinds = (
+        _kinds_from_schema(plan, current_schema)
+        if current_schema is not None
+        else _kinds_from_manifest(plan, files)
+    )
     for i, (kind, payload) in enumerate(dispositions):
         if kind == "meta":
             _merge_partials(partial, payload)

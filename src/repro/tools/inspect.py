@@ -450,23 +450,45 @@ def describe_catalog_log(table) -> str:
     return "\n".join(lines)
 
 
-def _file_table(files) -> list[str]:
+def _file_table(files, log=None) -> list[str]:
     lines = [
         f"{'file id':24} {'rows':>10} {'deleted':>8} {'live':>10} "
         f"{'bytes':>12}  schema"
     ]
     for f in files:
+        if f.schema_id is not None:
+            schema_ref = f"s{f.schema_id}"
+        elif log is not None and log.current_id is not None:
+            # legacy file inside an evolved snapshot: not yet adopted
+            schema_ref = f"(legacy {f.schema_fingerprint:#018x})"
+        else:
+            schema_ref = f"{f.schema_fingerprint:#018x}"
         lines.append(
             f"{f.file_id[:24]:24} {f.row_count:>10,} {f.deleted_count:>8,} "
-            f"{f.live_rows:>10,} {f.byte_size:>12,}  "
-            f"{f.schema_fingerprint:#018x}"
+            f"{f.live_rows:>10,} {f.byte_size:>12,}  {schema_ref}"
         )
+    return lines
+
+
+def _schema_legend(log) -> list[str]:
+    """One line per logged schema: id, current marker, column list."""
+    if log is None or not log.schemas:
+        return []
+    lines = ["", "schemas:"]
+    for schema_id in sorted(log.schemas):
+        schema = log.schemas[schema_id]
+        marker = "*" if schema_id == log.current_id else " "
+        cols = ", ".join(f"{c.name}:{c.type}" for c in schema.columns)
+        lines.append(f"{marker} s{schema_id}: {cols}")
     return lines
 
 
 def describe_catalog_snapshot(table, snapshot_id: int) -> str:
     """One snapshot's manifest in full."""
+    from repro.catalog import SchemaLog
+
     snap = table.snapshot(snapshot_id)
+    log = SchemaLog.from_snapshot(snap)
     parent = "-" if snap.parent_id is None else str(snap.parent_id)
     lines = [
         f"snapshot {snap.snapshot_id} (parent {parent}), "
@@ -481,7 +503,8 @@ def describe_catalog_snapshot(table, snapshot_id: int) -> str:
             + ", ".join(f"{k}={v}" for k, v in sorted(snap.summary.items()))
         )
     lines.append("")
-    lines.extend(_file_table(snap.files))
+    lines.extend(_file_table(snap.files, log))
+    lines.extend(_schema_legend(log))
     return "\n".join(lines)
 
 
@@ -492,29 +515,39 @@ def describe_catalog_files(
 
     With ``where``, each file gets a kept/pruned verdict from its
     manifest column statistics — the catalog pushdown layer, decided
-    without opening a single file.
+    without opening a single file. On evolved snapshots the verdicts
+    go through each file's schema resolution, so stats recorded under
+    old column names or narrower types still prune correctly.
     """
+    from repro.catalog import SchemaLog
+
     snap = (
         table.current_snapshot()
         if snapshot_id is None
         else table.snapshot(snapshot_id)
     )
+    log = SchemaLog.from_snapshot(snap)
     lines = [f"data files of snapshot {snap.snapshot_id}:"]
     if where is not None:
-        pruned = [f for f in snap.files if not f.might_match(where)]
+        kept = {
+            f.file_id: f.might_match(where, log.resolution(f))
+            for f in snap.files
+        }
+        pruned = [f for f in snap.files if not kept[f.file_id]]
         lines[0] += (
             f" (filter prunes {len(pruned)} of {len(snap.files)} files, "
             f"{sum(f.row_count for f in pruned):,} rows, "
             f"{sum(f.byte_size for f in pruned):,} bytes — "
             f"manifest stats only, zero file opens)"
         )
-        body = _file_table(snap.files)
+        body = _file_table(snap.files, log)
         lines.append(body[0] + "  verdict")
         for f, row in zip(snap.files, body[1:]):
-            verdict = "scan" if f.might_match(where) else "PRUNED"
+            verdict = "scan" if kept[f.file_id] else "PRUNED"
             lines.append(f"{row}  {verdict}")
     else:
-        lines.extend(_file_table(snap.files))
+        lines.extend(_file_table(snap.files, log))
+    lines.extend(_schema_legend(log))
     if snapshot_id is None:
         referenced: set[str] = set()
         for s in table.history():

@@ -1,0 +1,192 @@
+"""Metadata fuzzing: damaged schema logs fail typed, never tracebacks.
+
+Manifest bytes come from storage — truncation, bit rot, or a buggy
+writer are all survivable events, and the contract is a
+:class:`CatalogMetadataError` (or its :class:`SchemaLogError`
+subclass) with a readable message. A bare ``KeyError``/``TypeError``
+escaping means some parse path trusted the bytes; these tests throw
+randomized and adversarial damage at every layer that reads the
+schema log to pin the contract down.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.catalog import (
+    AddColumn,
+    CatalogMetadataError,
+    CatalogTable,
+    DirectoryCatalogStore,
+    MemoryCatalogStore,
+    SchemaLog,
+    SchemaLogError,
+    Snapshot,
+)
+from repro.core import Table
+from repro.tools.inspect import main as inspect_main
+
+
+def _evolved_manifest() -> bytes:
+    """A healthy manifest with a two-schema log to damage."""
+    cat = CatalogTable.create(MemoryCatalogStore())
+    cat.append(Table({
+        "ts": np.arange(20, dtype=np.int64),
+        "v": np.linspace(0.0, 1.0, 20),
+    }))
+    cat.evolve(AddColumn("clicks", "int64"))
+    cat.append(Table({
+        "ts": np.arange(20, 40, dtype=np.int64),
+        "v": np.linspace(1.0, 2.0, 20),
+        "clicks": np.arange(20, dtype=np.int64),
+    }))
+    return cat.current_snapshot().to_json()
+
+
+#: exceptions a parser may legitimately surface for damaged metadata
+_TYPED = (CatalogMetadataError,)
+
+
+class TestRandomizedDamage:
+    def test_truncations_never_leak_raw_errors(self):
+        data = _evolved_manifest()
+        for cut in range(0, len(data), 7):
+            try:
+                snap = Snapshot.from_json(data[:cut])
+                SchemaLog.from_snapshot(snap)
+            except _TYPED:
+                pass  # typed failure is the contract
+
+    def test_byte_flips_never_leak_raw_errors(self):
+        data = _evolved_manifest()
+        rng = np.random.default_rng(7)
+        for _ in range(300):
+            pos = int(rng.integers(0, len(data)))
+            flipped = bytearray(data)
+            flipped[pos] ^= 1 << int(rng.integers(0, 8))
+            try:
+                snap = Snapshot.from_json(bytes(flipped))
+                SchemaLog.from_snapshot(snap)
+            except _TYPED:
+                pass
+
+    def test_json_value_mutations(self):
+        """Swap random scalar values for wrong-typed junk."""
+        doc = json.loads(_evolved_manifest())
+        junk = [None, "x", -1, [], {}, 3.5, "list<", "int65"]
+        rng = np.random.default_rng(11)
+
+        def mutate(node, depth=0):
+            if isinstance(node, dict):
+                for k in list(node):
+                    if rng.random() < 0.3:
+                        node[k] = junk[int(rng.integers(0, len(junk)))]
+                    else:
+                        mutate(node[k], depth + 1)
+            elif isinstance(node, list):
+                for i in range(len(node)):
+                    mutate(node[i], depth + 1)
+
+        for _ in range(200):
+            damaged = json.loads(json.dumps(doc))
+            mutate(damaged)
+            try:
+                snap = Snapshot.from_json(json.dumps(damaged).encode())
+                SchemaLog.from_snapshot(snap)
+            except _TYPED:
+                pass
+
+
+class TestAdversarialSchemaLog:
+    """Hand-crafted damage aimed at each schema-log validation."""
+
+    def _load(self, rewrite) -> Snapshot:
+        doc = json.loads(_evolved_manifest())
+        rewrite(doc)
+        return Snapshot.from_json(json.dumps(doc).encode())
+
+    def _expect(self, rewrite, fragment: str | None = None):
+        with pytest.raises(_TYPED, match=fragment):
+            snap = self._load(rewrite)
+            SchemaLog.from_snapshot(snap)
+
+    def test_dangling_current_schema_id(self):
+        def rw(doc):
+            doc["current_schema_id"] = 99
+        self._expect(rw, "current_schema_id 99")
+
+    def test_file_references_unknown_schema(self):
+        def rw(doc):
+            doc["files"][0]["schema_id"] = 42
+        self._expect(rw, "references schema 42")
+
+    def test_schema_entry_missing_columns(self):
+        def rw(doc):
+            del doc["schemas"][0]["columns"]
+        self._expect(rw)
+
+    def test_column_missing_field_id(self):
+        def rw(doc):
+            del doc["schemas"][0]["columns"][0]["id"]
+        self._expect(rw)
+
+    def test_unparseable_column_type(self):
+        def rw(doc):
+            doc["schemas"][1]["columns"][0]["type"] = "list<int64"
+        self._expect(rw)
+
+    def test_unknown_primitive_name(self):
+        def rw(doc):
+            doc["schemas"][1]["columns"][0]["type"] = "int65"
+        self._expect(rw)
+
+    def test_duplicate_column_names(self):
+        def rw(doc):
+            cols = doc["schemas"][1]["columns"]
+            cols[1]["name"] = cols[0]["name"]
+        self._expect(rw)
+
+    def test_duplicate_field_ids(self):
+        def rw(doc):
+            cols = doc["schemas"][1]["columns"]
+            cols[1]["id"] = cols[0]["id"]
+        self._expect(rw)
+
+    def test_schema_log_error_is_catalog_and_value_error(self):
+        assert issubclass(SchemaLogError, CatalogMetadataError)
+        assert issubclass(CatalogMetadataError, ValueError)
+
+
+class TestDamagedTableOnDisk:
+    """End to end: a corrupted manifest on disk degrades to a typed
+    error from the library and a one-line exit-1 from the CLI."""
+
+    def _damaged_table(self, tmp_path) -> str:
+        root = tmp_path / "table"
+        cat = CatalogTable.create(DirectoryCatalogStore(str(root)))
+        cat.append(Table({"ts": np.arange(10, dtype=np.int64)}))
+        cat.evolve(AddColumn("clicks", "int64"))
+        head = max((root / "snapshots").glob("snap-*.json"))
+        doc = json.loads(head.read_bytes())
+        doc["schemas"][0]["columns"][0].pop("type")
+        head.write_bytes(json.dumps(doc).encode())
+        return str(root)
+
+    def test_library_raises_typed_error(self, tmp_path):
+        root = self._damaged_table(tmp_path)
+        table = CatalogTable(DirectoryCatalogStore(root))
+        with pytest.raises(CatalogMetadataError):
+            table.current_snapshot()
+
+    def test_cli_exit_one_no_traceback(self, tmp_path, capsys):
+        root = self._damaged_table(tmp_path)
+        try:
+            code = inspect_main(["catalog", "files", root])
+        except SystemExit as exc:
+            code = exc.code
+        err = capsys.readouterr().err
+        assert code == 1
+        lines = [line for line in err.splitlines() if line]
+        assert len(lines) == 1 and lines[0].startswith("repro-inspect:")
+        assert "Traceback" not in err

@@ -208,3 +208,80 @@ class TestCodecsSubcommand:
         )
         assert code == 0
         assert len(out.splitlines()) == 1  # header only
+
+
+class TestCatalogSchemaRendering:
+    """``catalog files``/``snapshot`` show schema ids + column lists.
+
+    The old rendering printed only the opaque 64-bit layout
+    fingerprint; evolved tables now get a per-file ``s<id>`` reference
+    and a legend mapping each logged schema to its column list, with
+    the current schema starred.
+    """
+
+    @pytest.fixture
+    def evolved_dir(self, tmp_path):
+        from repro.catalog import AddColumn, RenameColumn
+
+        root = tmp_path / "table"
+        cat = CatalogTable.create(DirectoryCatalogStore(str(root)))
+        cat.append(Table({
+            "ts": np.arange(50, dtype=np.int64),
+            "v": np.linspace(0, 1, 50),
+        }))
+        cat.evolve(AddColumn("clicks", "int64"), RenameColumn("v", "score"))
+        cat.append(Table({
+            "ts": np.arange(50, 100, dtype=np.int64),
+            "score": np.linspace(1, 2, 50),
+            "clicks": np.arange(50, dtype=np.int64),
+        }))
+        return str(root)
+
+    def test_files_schema_ids_and_legend(self, evolved_dir, capsys):
+        code, out, _err = _run(["catalog", "files", evolved_dir], capsys)
+        assert code == 0
+        assert "0x" not in out  # no opaque fingerprint hex
+        rows = [line for line in out.splitlines() if line.startswith("f-")]
+        assert len(rows) == 2
+        assert rows[0].split()[-1] == "s0"
+        assert rows[1].split()[-1] == "s1"
+        assert "schemas:" in out
+        assert "  s0: ts:int64, v:double" in out
+        assert "* s1: ts:int64, score:double, clicks:int64" in out
+
+    def test_snapshot_manifest_has_legend(self, evolved_dir, capsys):
+        code, out, _err = _run(
+            ["catalog", "snapshot", evolved_dir, "3"], capsys
+        )
+        assert code == 0
+        assert "schemas:" in out
+        assert "* s1: ts:int64, score:double, clicks:int64" in out
+
+    def test_pre_evolution_snapshot_keeps_fingerprint(
+        self, evolved_dir, capsys
+    ):
+        # snapshot 1 predates the schema log: fingerprint is all we have
+        code, out, _err = _run(
+            ["catalog", "files", evolved_dir, "--snapshot", "1"], capsys
+        )
+        assert code == 0
+        assert "0x" in out
+        assert "schemas:" not in out
+
+    def test_legacy_table_unchanged(self, catalog_dir, capsys):
+        code, out, _err = _run(["catalog", "files", catalog_dir], capsys)
+        assert code == 0
+        assert "0x" in out
+        assert "schemas:" not in out
+
+    def test_where_resolves_renamed_column(self, evolved_dir, capsys):
+        # 'score' was 'v' in the s0 file; its manifest stats live under
+        # the stored name, so pruning must resolve through the log.
+        code, out, _err = _run(
+            ["catalog", "files", evolved_dir, "--where", "score > 1.5"],
+            capsys,
+        )
+        assert code == 0
+        rows = [line for line in out.splitlines() if line.startswith("f-")]
+        verdicts = {line.split()[-2]: line.split()[-1] for line in rows}
+        assert verdicts == {"s0": "PRUNED", "s1": "scan"}
