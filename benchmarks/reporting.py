@@ -4,19 +4,50 @@ Every bench regenerates one of the paper's tables/figures and records
 its series here: printed to stdout (visible with ``-s``) and persisted
 under ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite
 measured numbers.
+
+Each ``report()`` call additionally writes a machine-readable
+``BENCH_<experiment>.json`` at the repo root (schema
+``bench_report/v1``): the human-readable lines, any structured ``data``
+the bench passes, and a full :mod:`repro.obs` metrics-registry snapshot
+taken at report time — so every benchmark artifact carries the I/O,
+pushdown, and latency counters that produced its wall-clock numbers.
+``repro-inspect metrics BENCH_<experiment>.json`` renders the embedded
+snapshot; benches with a custom JSON artifact (``bench_codecs``)
+overwrite the generic file with their richer schema and embed the same
+``"metrics"`` key themselves.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def report(experiment: str, lines: list[str]) -> None:
+def registry_snapshot_dict() -> dict:
+    """The process-wide metrics registry as an ``export_dict`` payload."""
+    from repro.obs.metrics import default_registry
+
+    return default_registry().export_dict()
+
+
+def report(experiment: str, lines: list[str], data: dict | None = None) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     text = "\n".join(lines)
     banner = f"\n=== {experiment} ===\n{text}\n"
     print(banner)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as f:
         f.write(text + "\n")
+    payload = {
+        "schema": "bench_report/v1",
+        "experiment": experiment,
+        "lines": lines,
+        "data": data or {},
+        "metrics": registry_snapshot_dict(),
+    }
+    json_path = os.path.join(REPO_ROOT, f"BENCH_{experiment}.json")
+    with open(json_path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -44,6 +44,18 @@ from repro.catalog.transaction import (
 )
 from repro.core.compact import merge
 from repro.core.writer import WriterOptions
+from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs.families import (
+    MAINT_BYTES_RECLAIMED,
+    MAINT_CYCLE_SECONDS,
+    MAINT_CYCLES,
+    MAINT_FILES_DELETED,
+    MAINT_GC_REFUSALS,
+    MAINT_JOBS_RUN,
+    MAINT_JOBS_SKIPPED,
+    MAINT_ROWS_DELETED,
+    MAINT_SNAPSHOTS_EXPIRED,
+)
 
 
 @dataclass
@@ -234,30 +246,47 @@ class MaintenanceService:
 
     # -- execution ------------------------------------------------------
     def run_once(self) -> MaintenanceReport:
+        obs_on = obs_metrics.enabled()
+        t0 = time.perf_counter() if obs_on else 0.0
+        with obs_trace.span("maintenance.cycle"):
+            report = self._run_once_impl(obs_on)
+        if obs_on:
+            MAINT_CYCLES.inc()
+            MAINT_CYCLE_SECONDS.observe(time.perf_counter() - t0)
+        return report
+
+    def _run_once_impl(self, obs_on: bool) -> MaintenanceReport:
         report = MaintenanceReport()
         jobs = self.plan()
         report.jobs_planned = len(jobs)
         for job in jobs:
             try:
-                if job.kind == "retention":
-                    self._run_retention(job, report)
-                elif job.kind == "compact":
-                    self._run_compact(job, report)
-                elif job.kind == "rollup":
-                    self._run_rollup(job, report)
-                elif job.kind == "expire":
-                    self._run_expire(job, report)
+                with obs_trace.span("maintenance.job", kind=job.kind):
+                    if job.kind == "retention":
+                        self._run_retention(job, report)
+                    elif job.kind == "compact":
+                        self._run_compact(job, report)
+                    elif job.kind == "rollup":
+                        self._run_rollup(job, report)
+                    elif job.kind == "expire":
+                        self._run_expire(job, report)
                 report.jobs_run += 1
+                if obs_on:
+                    MAINT_JOBS_RUN.labels(kind=job.kind).inc()
             except CommitConflict as exc:
                 # a foreground writer won a race against this job; the
                 # next cycle re-plans from the new HEAD
                 report.skipped.append(f"{job.kind}: {exc}")
+                if obs_on:
+                    MAINT_JOBS_SKIPPED.labels(kind=job.kind).inc()
             except Exception as exc:
                 # anything else (I/O error, a file expired by another
                 # process, ...) must not kill the background loop
                 report.skipped.append(
                     f"{job.kind}: {type(exc).__name__}: {exc}"
                 )
+                if obs_on:
+                    MAINT_JOBS_SKIPPED.labels(kind=job.kind).inc()
         self.cycles += 1
         self.last_report = report
         return report
@@ -278,6 +307,8 @@ class MaintenanceService:
             txn.abort()  # no-op after commit()'s own conflict abort
             raise
         report.rows_deleted += deleted
+        if obs_metrics.enabled():
+            MAINT_ROWS_DELETED.inc(deleted)
 
     def _run_compact(
         self, job: MaintenanceJob, report: MaintenanceReport
@@ -300,6 +331,10 @@ class MaintenanceService:
             raise
         report.files_compacted += len(job.file_ids)
         report.bytes_reclaimed += comp.bytes_reclaimed
+        if obs_metrics.enabled():
+            # a rewrite can grow a file (encoding drift); counters only
+            # go up, so clamp the reclaimed delta at zero
+            MAINT_BYTES_RECLAIMED.inc(max(0, comp.bytes_reclaimed))
 
     def _run_rollup(
         self, job: MaintenanceJob, report: MaintenanceReport
@@ -338,6 +373,8 @@ class MaintenanceService:
             raise
         report.files_merged += len(sources)
         report.bytes_reclaimed += comp.bytes_reclaimed
+        if obs_metrics.enabled():
+            MAINT_BYTES_RECLAIMED.inc(max(0, comp.bytes_reclaimed))
 
     def _run_expire(
         self, job: MaintenanceJob, report: MaintenanceReport
@@ -352,6 +389,7 @@ class MaintenanceService:
         # file only after its commit published the snapshot, so a file
         # missing from pinned_file_ids() is guaranteed to show up in
         # the later history() read if HEAD references it.
+        obs_on = obs_metrics.enabled()
         candidates = store.list_data()
         referenced: set[str] = set(table.pinned_file_ids())
         for sid in job.snapshot_ids:
@@ -359,8 +397,12 @@ class MaintenanceService:
             # a pin registered since the plan wins the race
             if table.expire_snapshot(sid):
                 report.snapshots_expired += 1
+                if obs_on:
+                    MAINT_SNAPSHOTS_EXPIRED.inc()
             else:
                 report.skipped.append(f"expire: snapshot {sid} is pinned")
+                if obs_on:
+                    MAINT_GC_REFUSALS.labels(reason="pinned").inc()
         # GC: a data file also survives if any retained snapshot
         # references it
         for snap in table.history():
@@ -377,12 +419,18 @@ class MaintenanceService:
                 ):
                     # possibly staged by a writer in another process,
                     # which this handle's in-flight set cannot see
+                    if obs_on:
+                        MAINT_GC_REFUSALS.labels(reason="grace").inc()
                     continue
-                report.bytes_reclaimed += store.data_size(file_id)
+                reclaimed = store.data_size(file_id)
             except (FileNotFoundError, OSError):
                 continue  # already gone (aborted transaction cleanup)
             store.delete_data(file_id)
+            report.bytes_reclaimed += reclaimed
             report.data_files_deleted += 1
+            if obs_on:
+                MAINT_BYTES_RECLAIMED.inc(reclaimed)
+                MAINT_FILES_DELETED.inc(1)
 
     # -- background loop ------------------------------------------------
     def start(self, interval_s: float = 1.0) -> None:

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.reader import ScanStats
 from repro.core.schema import (
     PhysicalColumn,
     PhysicalType,
@@ -854,14 +855,15 @@ class ResolvedReader:
             kept = [g for g in groups if verdicts[g] is not TriState.NEVER]
             if scan_stats is not None:
                 pruned = [g for g in groups if g not in set(kept)]
-                scan_stats.groups_pruned += len(pruned)
-                scan_stats.rows_pruned += sum(
-                    footer.row_group(g).n_rows for g in pruned
+                scan_stats.bump(
+                    groups_pruned=len(pruned),
+                    rows_pruned=sum(
+                        footer.row_group(g).n_rows for g in pruned
+                    ),
                 )
             groups = kept
         if scan_stats is not None:
-            scan_stats.files_scanned += 1
-            scan_stats.groups_total += len(groups)
+            scan_stats.bump(files_scanned=1, groups_total=len(groups))
 
         # stored columns the inner scan must decode: projected present
         # columns plus present filter columns
@@ -879,8 +881,11 @@ class ResolvedReader:
             rg = footer.row_group(g)
             if inner_names:
                 # widen_quantized=False: widening to the *current* type
-                # happens below, per column (the inner scan gets no
-                # scan_stats — it would double-count files and groups)
+                # happens below, per column (the inner scan gets an
+                # unmirrored throwaway ScanStats — this layer reports
+                # files and groups itself, so letting the inner scan
+                # publish too would double-count both per-call and in
+                # the registry)
                 raw = reader.scan(
                     inner_names,
                     row_groups=[g],
@@ -888,14 +893,14 @@ class ResolvedReader:
                     widen_quantized=False,
                     max_workers=max_workers,
                     prefetch_groups=prefetch_groups,
+                    scan_stats=ScanStats.unmirrored(),
                 ).to_table()
                 n = raw.num_rows
             else:
                 raw = None
                 n = rg.n_rows
             if scan_stats is not None:
-                scan_stats.groups_scanned += 1
-                scan_stats.rows_scanned += n
+                scan_stats.bump(groups_scanned=1, rows_scanned=n)
 
             def current_values(name, stored, widen):
                 if stored is None:
@@ -933,7 +938,7 @@ class ResolvedReader:
             if mask is not None and table.num_columns:
                 table = table.take_mask(mask)
             if scan_stats is not None:
-                scan_stats.rows_matched += table.num_rows
+                scan_stats.bump(rows_matched=table.num_rows)
             if table.num_rows:
                 yield table
 

@@ -42,6 +42,7 @@ from repro.expr import Expr
 from repro.core.schema import Schema
 from repro.core.table import Table, concat_tables
 from repro.core.writer import WriterOptions
+from repro.obs import trace as obs_trace
 
 #: parsed-snapshot cache bound (oldest ids evicted first; pinned
 #: snapshots are unaffected — each PinnedSnapshot holds its own copy)
@@ -168,14 +169,14 @@ class PinnedSnapshot:
             files, pruned = self.prune_files(where)
             stats = scan_kwargs.get("scan_stats")
             if stats is not None:
-                stats.files_pruned += len(pruned)
-                stats.rows_pruned += sum(f.row_count for f in pruned)
+                stats.bump(
+                    files_pruned=len(pruned),
+                    rows_pruned=sum(f.row_count for f in pruned),
+                )
         chunks = (
             batch
             for f in files
-            for batch in self._resolved_reader_for(f).scan(
-                columns, **scan_kwargs
-            )
+            for batch in self._scan_file_traced(f, columns, scan_kwargs)
         )
         if batch_size is None:
             yield from chunks
@@ -183,6 +184,20 @@ class PinnedSnapshot:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         yield from rebatch(chunks, batch_size)
+
+    def _scan_file_traced(self, f, columns, scan_kwargs):
+        """One file's batches under a ``scan.file`` span.
+
+        The span covers the file's whole lazy iteration, so with a slow
+        consumer it includes consumer time between batches — the
+        documented wall-time semantics of generator-crossing spans.
+        """
+        it = self._resolved_reader_for(f).scan(columns, **scan_kwargs)
+        if not obs_trace.enabled():
+            yield from it
+            return
+        with obs_trace.span("scan.file", file=f.file_id, rows=f.row_count):
+            yield from it
 
     def read(self, columns: list[str], **scan_kwargs) -> Table:
         """Eagerly materialize a projection of the pinned snapshot.

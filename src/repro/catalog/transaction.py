@@ -25,6 +25,7 @@ validation failure) deletes the staged data files so nothing leaks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace as _replace
 
 import numpy as np
@@ -48,6 +49,15 @@ from repro.core.table import Table
 from repro.core.writer import BullionWriter, WriterOptions
 from repro.expr import Expr, as_expr, col, evaluate as evaluate_expr
 from repro.iosim import Storage
+from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs.families import (
+    COMMIT_ABORTS,
+    COMMIT_ATTEMPTS,
+    COMMIT_CONFLICTS,
+    COMMIT_REPLAYS,
+    COMMIT_SECONDS,
+    COMMITS,
+)
 
 
 class CommitConflict(RuntimeError):
@@ -576,6 +586,16 @@ class Transaction:
     # -- commit protocol ------------------------------------------------
     def commit(self, max_retries: int = 20) -> Snapshot:
         """Publish the staged edit as the next snapshot (CAS + retry)."""
+        obs_on = obs_metrics.enabled()
+        t0 = time.perf_counter() if obs_on else 0.0
+        with obs_trace.span("catalog.commit", ops=",".join(self._ops)):
+            snap = self._commit_impl(max_retries, obs_on)
+        if obs_on:
+            COMMIT_SECONDS.observe(time.perf_counter() - t0)
+            COMMITS.labels(operation=snap.operation).inc()
+        return snap
+
+    def _commit_impl(self, max_retries: int, obs_on: bool) -> Snapshot:
         self._require_open()
         if not self._ops and not self._added and not self._removed:
             raise ValueError("empty transaction: nothing staged")
@@ -590,6 +610,10 @@ class Transaction:
         table = self._table
         head = self._base
         for _attempt in range(max_retries + 1):
+            if obs_on:
+                COMMIT_ATTEMPTS.inc()
+                if _attempt:  # turn N>0 replays the edit on a new HEAD
+                    COMMIT_REPLAYS.inc()
             # re-validate against (possibly moved) HEAD: every file we
             # replace must still be live
             head_ids = head.file_ids()
@@ -677,6 +701,8 @@ class Transaction:
                         self._store.delete_data(file_id)
                 return snap
             table._count("conflicts")
+            if obs_on:
+                COMMIT_CONFLICTS.inc()
             head = table.current_snapshot()
         self.abort()
         raise CommitConflict(f"commit failed after {max_retries} retries")
@@ -691,3 +717,5 @@ class Transaction:
             self._store.delete_data(file_id)
         self._table._unregister_inflight(self._staged_ids)
         self._table._count("aborts")
+        if obs_metrics.enabled():
+            COMMIT_ABORTS.inc()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import struct
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -49,6 +50,16 @@ from repro.expr import (
     interval_from_stats,
 )
 from repro.iosim import Storage
+from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs.families import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CHUNK_FETCH_SECONDS,
+    READER_OPENS,
+    SCAN_MIRROR,
+    backend_label,
+)
 from repro.util.hashing import hash_bytes
 
 _TAIL_SIZE = 4 + len(MAGIC)
@@ -103,6 +114,36 @@ class ScanStats:
     chunks_fetched: int = 0
     chunks_skipped: int = 0  # residual chunks never fetched
 
+    # class attribute, not a dataclass field: instances flip it via
+    # ``unmirrored()`` when their counts must stay out of the registry
+    _mirror = True
+
+    def bump(self, **deltas: int) -> None:
+        """Increment per-call counters *and* the process-wide registry.
+
+        Every organic increment site goes through here, so the global
+        ``scan_*`` counter families reconcile exactly with the summed
+        per-call stats. Bulk copies between stats objects (e.g.
+        ``QueryStats.merge``) stay raw attribute writes — a delta is
+        published to the registry exactly once, at its origin.
+        """
+        for name, n in deltas.items():
+            setattr(self, name, getattr(self, name) + n)
+        if self._mirror:
+            SCAN_MIRROR.bump(deltas)
+
+    @staticmethod
+    def unmirrored() -> "ScanStats":
+        """Stats that never publish to the registry.
+
+        For *inner* scans whose counts a wrapping layer re-reports
+        under its own accounting (e.g. ``ResolvedReader`` counts files
+        and groups itself) — mirroring both would double-publish.
+        """
+        stats = ScanStats()
+        stats._mirror = False
+        return stats
+
 
 class ChunkCache:
     """Tiny thread-safe LRU over raw (column, row-group) chunk bytes."""
@@ -111,6 +152,7 @@ class ChunkCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[tuple[int, int], bytes] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -119,9 +161,13 @@ class ChunkCache:
             raw = self._entries.get(key)
             if raw is None:
                 self.misses += 1
+                if obs_metrics.enabled():
+                    CACHE_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            if obs_metrics.enabled():
+                CACHE_HITS.inc()
             return raw
 
     def put(self, key: tuple[int, int], raw: bytes) -> None:
@@ -130,8 +176,14 @@ class ChunkCache:
         with self._lock:
             self._entries[key] = raw
             self._entries.move_to_end(key)
+            evicted = 0
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.evictions += evicted
+                if obs_metrics.enabled():
+                    CACHE_EVICTIONS.inc(evicted)
 
     def clear(self) -> None:
         with self._lock:
@@ -197,8 +249,7 @@ class Scan:
             groups = [g for g in groups if g in kept]
         self._where = where
         self._filter_cols: list[tuple[str, int, object]] = []
-        self.stats.files_scanned += 1
-        self.stats.groups_total += len(groups)
+        self.stats.bump(files_scanned=1, groups_total=len(groups))
         if where is not None:
             for name in sorted(where.columns()):
                 col_idx = footer.find_column(name)
@@ -211,9 +262,9 @@ class Scan:
             kept = set(reader.prune_row_groups_expr(where))
             pruned = [g for g in groups if g not in kept]
             groups = [g for g in groups if g in kept]
-            self.stats.groups_pruned += len(pruned)
-            self.stats.rows_pruned += sum(
-                footer.row_group(g).n_rows for g in pruned
+            self.stats.bump(
+                groups_pruned=len(pruned),
+                rows_pruned=sum(footer.row_group(g).n_rows for g in pruned),
             )
         self._groups = groups
         self._batch_size = batch_size
@@ -283,11 +334,13 @@ class Scan:
                 self._reader._fetch_chunk(col_idx, g)
                 for _name, col_idx, _pt in self._cols
             ]
-            self.stats.chunks_fetched += len(raws)
-            self.stats.groups_scanned += 1
             table = self._assemble(g, raws)
-            self.stats.rows_scanned += self._group_rows(g)
-            self.stats.rows_matched += table.num_rows
+            self.stats.bump(
+                chunks_fetched=len(raws),
+                groups_scanned=1,
+                rows_scanned=self._group_rows(g),
+                rows_matched=table.num_rows,
+            )
             yield table
 
     def _group_tables_parallel(self):
@@ -317,11 +370,13 @@ class Scan:
                     for pos in range(len(self._cols))
                 ]
                 submit_through(i + 2 + window)
-                self.stats.chunks_fetched += len(raws)
-                self.stats.groups_scanned += 1
                 table = self._assemble(g, raws)
-                self.stats.rows_scanned += self._group_rows(g)
-                self.stats.rows_matched += table.num_rows
+                self.stats.bump(
+                    chunks_fetched=len(raws),
+                    groups_scanned=1,
+                    rows_scanned=self._group_rows(g),
+                    rows_matched=table.num_rows,
+                )
                 yield table
 
     # -- filtered iteration (where=...) ---------------------------------
@@ -392,10 +447,12 @@ class Scan:
         """Evaluate one group's mask; assemble only if rows survive."""
         reader = self._reader
         stats = self.stats
-        stats.chunks_fetched += len(filter_raws)
-        stats.groups_scanned += 1
         n_rows = self._group_rows(g)
-        stats.rows_scanned += n_rows
+        stats.bump(
+            chunks_fetched=len(filter_raws),
+            groups_scanned=1,
+            rows_scanned=n_rows,
+        )
         # decode filter columns once, in storage representation
         decoded: dict[str, object] = {}
         for name, col_idx, ptype in self._filter_cols:
@@ -415,8 +472,7 @@ class Scan:
             residual = sum(
                 1 for name, _i, _p in self._cols if name not in decoded
             )
-            stats.chunks_skipped += residual
-            stats.groups_empty += 1
+            stats.bump(chunks_skipped=residual, groups_empty=1)
             return None
         # fetch the residual projected chunks (only now — the point of
         # late materialization)
@@ -437,7 +493,7 @@ class Scan:
                 name: reader._fetch_chunk(col_idx, g)
                 for name, col_idx in to_fetch
             }
-        stats.chunks_fetched += len(raws)
+        stats.bump(chunks_fetched=len(raws))
         out: dict[str, object] = {}
         for name, col_idx, ptype in self._cols:
             if name in decoded:
@@ -449,7 +505,7 @@ class Scan:
                 values = _widen_quantized(values, ptype)
             out[name] = values
         table = Table(out).take_mask(mask) if out else Table({})
-        stats.rows_matched += table.num_rows
+        stats.bump(rows_matched=table.num_rows)
         return table
 
     def _group_rows(self, g: int) -> int:
@@ -496,6 +552,13 @@ class BullionReader:
         #: the file is immutable for the reader's lifetime — reopen (or
         #: ``invalidate_cache()``) after in-place deletions
         self.chunk_cache = ChunkCache(chunk_cache_size)
+        # resolved once: per-fetch latency histogram child for this
+        # storage backend (class-derived label, never the file name)
+        self._fetch_hist = CHUNK_FETCH_SECONDS.labels(
+            backend=backend_label(storage)
+        )
+        if obs_metrics.enabled():
+            READER_OPENS.inc()
 
     # -- metadata -------------------------------------------------------
     @property
@@ -699,7 +762,13 @@ class BullionReader:
         if raw is not None:
             return raw
         chunk = self.footer.chunk(col_idx, rg)
-        raw = self._storage.pread(chunk.offset, chunk.size)
+        if obs_metrics.enabled():
+            with obs_trace.span("scan.fetch_chunk", col=col_idx, group=rg):
+                t0 = time.perf_counter()
+                raw = self._storage.pread(chunk.offset, chunk.size)
+                self._fetch_hist.observe(time.perf_counter() - t0)
+        else:
+            raw = self._storage.pread(chunk.offset, chunk.size)
         self.chunk_cache.put(key, raw)
         return raw
 

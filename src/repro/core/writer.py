@@ -27,6 +27,7 @@ one-shot wrappers and produce byte-identical files to any sequence of
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
@@ -62,6 +63,12 @@ from repro.encodings import (
 )
 from repro.encodings.bitpack import FixedBitWidth
 from repro.iosim import Storage
+from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs.families import (
+    WRITER_ENCODE_SECONDS,
+    WRITER_FLUSH_SECONDS,
+    WRITER_MIRROR,
+)
 from repro.util.hashing import hash_bytes
 
 #: compliance levels of §2.1
@@ -362,6 +369,16 @@ class BullionWriter:
 
     # -- group flush -----------------------------------------------------
     def _flush_group(self, values: dict[str, object]) -> None:
+        obs_on = obs_metrics.enabled()
+        flush_t0 = time.perf_counter() if obs_on else 0.0
+        with obs_trace.span("writer.flush_group"):
+            self._flush_group_inner(values, obs_on)
+        if obs_on:
+            WRITER_FLUSH_SECONDS.observe(time.perf_counter() - flush_t0)
+
+    def _flush_group_inner(
+        self, values: dict[str, object], obs_on: bool
+    ) -> None:
         opts = self._options
         storage = self._storage
         builder = self._builder
@@ -386,7 +403,12 @@ class BullionWriter:
             for lo, hi in page_slices:
                 page_values = _to_encodable(col_values[lo:hi], column)
                 encoding = self._resolve_encoding(column, page_values)
-                payload = encode_blob(page_values, encoding)
+                if obs_on:
+                    t0 = time.perf_counter()
+                    payload = encode_blob(page_values, encoding)
+                    WRITER_ENCODE_SECONDS.observe(time.perf_counter() - t0)
+                else:
+                    payload = encode_blob(page_values, encoding)
                 stats.encoded_pages_held += 1
                 stats.encoded_payload_bytes_held += len(payload)
                 stats.peak_encoded_pages_held = max(
@@ -407,6 +429,8 @@ class BullionWriter:
                     hash_bytes(payload),
                 )
                 stats.pages_written += 1
+                if obs_on:
+                    WRITER_MIRROR.bump({"pages_written": 1})
                 stats.encoded_pages_held -= 1
                 stats.encoded_payload_bytes_held -= len(payload)
                 del payload, framed  # nothing encoded survives the page
@@ -427,6 +451,8 @@ class BullionWriter:
             )
         builder.end_row_group(n_rows)
         stats.groups_flushed += 1
+        if obs_on:
+            WRITER_MIRROR.bump({"groups_flushed": 1})
 
     def _resolve_encoding(self, column: PhysicalColumn, values) -> Encoding:
         opts = self._options

@@ -15,12 +15,18 @@ the :class:`Storage` protocol, with three backends:
 """
 
 from repro.iosim.blockdev import IOStats, SeekModel, SimulatedStorage
-from repro.iosim.storage import FileStorage, LatencyModelledStorage, Storage
+from repro.iosim.storage import (
+    FileStorage,
+    InstrumentedStorage,
+    LatencyModelledStorage,
+    Storage,
+)
 
 __all__ = [
     "Storage",
     "SimulatedStorage",
     "FileStorage",
+    "InstrumentedStorage",
     "LatencyModelledStorage",
     "IOStats",
     "SeekModel",

@@ -18,6 +18,11 @@ Three interchangeable backends implement it:
                             sleeping it out so wall-clock experiments
                             (parallel vs serial scans) see realistic
                             device behaviour
+``InstrumentedStorage``     a wrapper over any backend that publishes
+                            op counts, bytes moved and latency
+                            histograms per backend kind into the
+                            process-wide :mod:`repro.obs` metrics
+                            registry
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import time
 from typing import Protocol, runtime_checkable
 
 from repro.iosim.blockdev import IOStats, SeekModel
+from repro.obs import metrics as obs_metrics
 
 
 @runtime_checkable
@@ -237,6 +243,121 @@ class LatencyModelledStorage:
 
     def truncate(self, size: int) -> None:
         self.inner.truncate(size)
+
+    # pass through the test escape hatches when the backend has them
+    def raw_bytes(self) -> bytes:
+        return self.inner.raw_bytes()
+
+    def corrupt(self, offset: int, data: bytes) -> None:
+        self.inner.corrupt(offset, data)
+
+
+class InstrumentedStorage:
+    """Wrap any backend; publish its I/O into the metrics registry.
+
+    Counts preads/pwrites/appends/syncs, bytes moved, request-size
+    distribution and per-op latency histograms, all labeled by backend
+    *kind* (``file``, ``memory``, ``latency`` — class-derived, never
+    the file name, to keep label cardinality bounded). The inner
+    backend's own :class:`IOStats` keep counting unchanged; this
+    wrapper adds the process-wide view. Honours the global
+    :func:`repro.obs.set_enabled` switch per operation.
+    """
+
+    def __init__(self, inner: Storage, backend: str | None = None) -> None:
+        from repro.obs import families as _fam  # circular-free, heavy names
+
+        self.inner = inner
+        self.backend = backend or _fam.backend_label(inner)
+        lbl = {"backend": self.backend}
+        self._read_ops = _fam.STORAGE_READ_OPS.labels(**lbl)
+        self._read_bytes = _fam.STORAGE_READ_BYTES.labels(**lbl)
+        self._read_secs = _fam.STORAGE_READ_SECONDS.labels(**lbl)
+        self._write_ops = _fam.STORAGE_WRITE_OPS.labels(**lbl)
+        self._write_bytes = _fam.STORAGE_WRITE_BYTES.labels(**lbl)
+        self._write_secs = _fam.STORAGE_WRITE_SECONDS.labels(**lbl)
+        self._sync_ops = _fam.STORAGE_SYNC_OPS.labels(**lbl)
+        self._sync_secs = _fam.STORAGE_SYNC_SECONDS.labels(**lbl)
+        self._read_size = _fam.STORAGE_IO_SIZE_BYTES.labels(
+            backend=self.backend, op="read"
+        )
+        self._write_size = _fam.STORAGE_IO_SIZE_BYTES.labels(
+            backend=self.backend, op="write"
+        )
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def __len__(self) -> int:
+        return self.inner.size
+
+    def pread(self, offset: int, length: int) -> bytes:
+        if not obs_metrics.enabled():
+            return self.inner.pread(offset, length)
+        t0 = time.perf_counter()
+        data = self.inner.pread(offset, length)
+        self._read_secs.observe(time.perf_counter() - t0)
+        self._read_ops.inc()
+        self._read_bytes.inc(len(data))
+        self._read_size.observe(len(data))
+        return data
+
+    def _count_write(self, nbytes: int, t0: float) -> None:
+        self._write_secs.observe(time.perf_counter() - t0)
+        self._write_ops.inc()
+        self._write_bytes.inc(nbytes)
+        self._write_size.observe(nbytes)
+
+    def pwrite(self, offset: int, data: bytes) -> None:
+        if not obs_metrics.enabled():
+            self.inner.pwrite(offset, data)
+            return
+        t0 = time.perf_counter()
+        self.inner.pwrite(offset, data)
+        self._count_write(len(data), t0)
+
+    def append(self, data: bytes) -> int:
+        if not obs_metrics.enabled():
+            return self.inner.append(data)
+        t0 = time.perf_counter()
+        offset = self.inner.append(data)
+        self._count_write(len(data), t0)
+        return offset
+
+    def truncate(self, size: int) -> None:
+        self.inner.truncate(size)
+
+    def sync(self) -> None:
+        inner_sync = getattr(self.inner, "sync", None)
+        if inner_sync is None:
+            return
+        if not obs_metrics.enabled():
+            inner_sync()
+            return
+        t0 = time.perf_counter()
+        inner_sync()
+        self._sync_secs.observe(time.perf_counter() - t0)
+        self._sync_ops.inc()
+
+    def close(self) -> None:
+        inner_close = getattr(self.inner, "close", None)
+        if inner_close is not None:
+            inner_close()
+
+    def __enter__(self) -> "InstrumentedStorage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # pass through the test escape hatches when the backend has them
     def raw_bytes(self) -> bytes:

@@ -1,0 +1,237 @@
+"""Canonical metric families and the per-call-stats → registry bridge.
+
+Every metric the built-in instrumentation emits is declared here, in
+one place, so the naming-convention lint test and the ARCHITECTURE.md
+inventory have a single source of truth.  Names follow
+``<subsystem>_<noun>_<unit>`` (see :func:`repro.obs.metrics.validate_metric_name`).
+
+:class:`StatsMirror` folds the existing per-call stats dataclasses
+(``ScanStats``, ``QueryStats``) into registry counter families *at the
+original increment sites*: the stats objects grow a ``bump(**deltas)``
+method that updates the per-call fields exactly as ``+=`` did and, when
+instrumentation is enabled, adds the same deltas to the process-wide
+counters.  ``merge()``-style bulk copies between stats objects stay raw
+attribute writes, so a value is published to the registry exactly once
+— this is what makes the global counters reconcile exactly with the
+summed per-call stats.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _m
+
+__all__ = [
+    "StatsMirror",
+    "SCAN_MIRROR",
+    "QUERY_MIRROR",
+    "WRITER_MIRROR",
+    "STANDARD_FAMILIES",
+    "backend_label",
+]
+
+_REG = _m.default_registry()
+
+
+class StatsMirror:
+    """Maps per-call stats field names onto registry counter families."""
+
+    def __init__(self, field_to_metric: dict[str, str], help_prefix: str):
+        self._handles = {
+            fld: _REG.counter(name, f"{help_prefix}: {fld} (process-wide)")
+            for fld, name in field_to_metric.items()
+        }
+        self.field_to_metric = dict(field_to_metric)
+
+    def bump(self, deltas: dict[str, int]) -> None:
+        if not _m.enabled():
+            return
+        handles = self._handles
+        for fld, n in deltas.items():
+            if n:
+                handles[fld].inc(n)
+
+
+#: ScanStats fields → registry counters (decode-path pushdown layers).
+SCAN_MIRROR = StatsMirror(
+    {
+        "files_scanned": "scan_files_scanned_total",
+        "files_pruned": "scan_files_pruned_total",
+        # ``groups_total`` would render as ``scan_groups_total_total``;
+        # the registry name says what the field means instead.
+        "groups_total": "scan_groups_considered_total",
+        "groups_pruned": "scan_groups_pruned_total",
+        "groups_scanned": "scan_groups_scanned_total",
+        "groups_empty": "scan_groups_empty_total",
+        "rows_pruned": "scan_rows_pruned_total",
+        "rows_scanned": "scan_rows_scanned_total",
+        "rows_matched": "scan_rows_matched_total",
+        "chunks_fetched": "scan_chunks_fetched_total",
+        "chunks_skipped": "scan_chunks_skipped_total",
+    },
+    "Scan pushdown",
+)
+
+#: QueryStats fields → registry counters (answer-path split).
+QUERY_MIRROR = StatsMirror(
+    {
+        "files_total": "query_files_considered_total",
+        "files_pruned": "query_files_pruned_total",
+        "files_meta_answered": "query_files_meta_answered_total",
+        "files_footer_answered": "query_files_footer_answered_total",
+        "files_decoded": "query_files_decoded_total",
+        "groups_meta_answered": "query_groups_meta_answered_total",
+        "groups_decoded": "query_groups_decoded_total",
+        "rows_from_metadata": "query_rows_from_metadata_total",
+    },
+    "Query answer paths",
+)
+
+#: WriterStats counter fields → registry counters (gauge-like peaks are
+#: per-call evidence and stay per-call).
+WRITER_MIRROR = StatsMirror(
+    {
+        "groups_flushed": "writer_groups_flushed_total",
+        "pages_written": "writer_pages_written_total",
+    },
+    "Streaming writer",
+)
+
+# --- Cache / reader -----------------------------------------------------
+CACHE_HITS = _REG.counter(
+    "scan_cache_hits_total", "ChunkCache lookups served from memory"
+)
+CACHE_MISSES = _REG.counter(
+    "scan_cache_misses_total", "ChunkCache lookups that fell through to storage"
+)
+CACHE_EVICTIONS = _REG.counter(
+    "scan_cache_evictions_total", "ChunkCache LRU evictions"
+)
+READER_OPENS = _REG.counter(
+    "scan_files_opened_total", "BullionReader constructions (footer reads)"
+)
+CHUNK_FETCH_SECONDS = _REG.histogram(
+    "scan_chunk_fetch_seconds",
+    "Latency of one raw chunk fetch (cache miss included)",
+    labels=("backend",),
+)
+
+# --- Storage (InstrumentedStorage wrapper) ------------------------------
+STORAGE_READ_OPS = _REG.counter(
+    "storage_read_ops_total", "preads issued", labels=("backend",)
+)
+STORAGE_READ_BYTES = _REG.counter(
+    "storage_read_bytes_total", "bytes returned by pread", labels=("backend",)
+)
+STORAGE_READ_SECONDS = _REG.histogram(
+    "storage_read_seconds", "pread latency", labels=("backend",)
+)
+STORAGE_WRITE_OPS = _REG.counter(
+    "storage_write_ops_total",
+    "pwrites/appends issued",
+    labels=("backend",),
+)
+STORAGE_WRITE_BYTES = _REG.counter(
+    "storage_write_bytes_total",
+    "bytes handed to pwrite/append",
+    labels=("backend",),
+)
+STORAGE_WRITE_SECONDS = _REG.histogram(
+    "storage_write_seconds", "pwrite/append latency", labels=("backend",)
+)
+STORAGE_SYNC_OPS = _REG.counter(
+    "storage_sync_ops_total", "fsync-style syncs issued", labels=("backend",)
+)
+STORAGE_SYNC_SECONDS = _REG.histogram(
+    "storage_sync_seconds", "sync latency", labels=("backend",)
+)
+STORAGE_IO_SIZE_BYTES = _REG.histogram(
+    "storage_io_bytes",
+    "Distribution of I/O request sizes",
+    labels=("backend", "op"),
+    buckets=_m.SIZE_BUCKETS,
+)
+
+# --- Writer timings -----------------------------------------------------
+WRITER_FLUSH_SECONDS = _REG.histogram(
+    "writer_flush_seconds", "Row-group flush latency (encode + append)"
+)
+WRITER_ENCODE_SECONDS = _REG.histogram(
+    "writer_encode_seconds", "Single page encode latency"
+)
+
+# --- Query timings ------------------------------------------------------
+QUERY_SECONDS = _REG.histogram(
+    "query_aggregate_seconds", "End-to-end aggregate query latency"
+)
+
+# --- Catalog / transactions ---------------------------------------------
+COMMIT_ATTEMPTS = _REG.counter(
+    "catalog_commit_attempts_total", "CAS commit attempts (one per loop turn)"
+)
+COMMIT_CONFLICTS = _REG.counter(
+    "catalog_commit_conflicts_total", "CAS attempts lost to a concurrent commit"
+)
+COMMIT_REPLAYS = _REG.counter(
+    "catalog_commit_replays_total",
+    "Conflicts revalidated and replayed against the new base snapshot",
+)
+COMMITS = _REG.counter(
+    "catalog_commits_total", "Transactions committed", labels=("operation",)
+)
+COMMIT_ABORTS = _REG.counter(
+    "catalog_commit_aborts_total", "Transactions aborted"
+)
+COMMIT_SECONDS = _REG.histogram(
+    "catalog_commit_seconds", "Commit latency including conflict replays"
+)
+
+# --- Maintenance --------------------------------------------------------
+MAINT_CYCLES = _REG.counter(
+    "maintenance_cycles_total", "run_once invocations"
+)
+MAINT_CYCLE_SECONDS = _REG.histogram(
+    "maintenance_cycle_seconds", "Full maintenance cycle latency"
+)
+MAINT_JOBS_RUN = _REG.counter(
+    "maintenance_jobs_run_total", "Jobs executed", labels=("kind",)
+)
+MAINT_JOBS_SKIPPED = _REG.counter(
+    "maintenance_jobs_skipped_total", "Jobs planned but skipped", labels=("kind",)
+)
+MAINT_BYTES_RECLAIMED = _REG.counter(
+    "maintenance_bytes_reclaimed_total", "Bytes deleted by expiry GC"
+)
+MAINT_ROWS_DELETED = _REG.counter(
+    "maintenance_rows_deleted_total", "Rows hard-deleted by compliance rewrites"
+)
+MAINT_FILES_DELETED = _REG.counter(
+    "maintenance_files_deleted_total", "Data files deleted by expiry GC"
+)
+MAINT_SNAPSHOTS_EXPIRED = _REG.counter(
+    "maintenance_snapshots_expired_total", "Snapshots expired"
+)
+MAINT_GC_REFUSALS = _REG.counter(
+    "maintenance_gc_refusals_total",
+    "Expiry candidates refused (pinned snapshot or gc-grace)",
+    labels=("reason",),
+)
+
+#: Every family above, for the lint test and the docs inventory.
+STANDARD_FAMILIES = tuple(sorted(f.name for f in _REG.families()))
+
+
+def backend_label(storage) -> str:
+    """A low-cardinality backend label for a storage object.
+
+    Class-derived (``file``, ``memory``, ``latency``), never the file
+    name — per-file labels would explode label cardinality.
+    """
+    inner = getattr(storage, "inner", None)
+    if inner is not None and type(storage).__name__ == "InstrumentedStorage":
+        return backend_label(inner)
+    cls = type(storage).__name__
+    return {
+        "FileStorage": "file",
+        "SimulatedStorage": "memory",
+        "LatencyModelledStorage": "latency",
+    }.get(cls, cls.lower().removesuffix("storage") or "unknown")

@@ -1,0 +1,646 @@
+"""Thread-safe process-wide metrics registry.
+
+Three instrument kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing float (``_total`` names).
+* :class:`Gauge` — set/add value that can go up and down.
+* :class:`Histogram` — fixed-bucket latency/size distribution from
+  which p50/p90/p99 are derivable without storing samples.
+
+Instruments are grouped into :class:`MetricFamily` objects keyed by a
+metric name that must follow the repo convention documented in
+ARCHITECTURE.md: ``<subsystem>_<noun>_<unit>`` — lowercase snake case,
+ending in one of the recognised unit suffixes (``total``, ``bytes``,
+``seconds``, ``rows``, ``ratio``, ``current``).  The registry rejects
+nonconforming names at registration time, so a drive-by counter cannot
+silently drift from the convention.
+
+Registration is idempotent: calling ``registry.counter("x_y_total")``
+twice returns the same family, so modules can resolve their handles at
+import time.  :meth:`Registry.reset` zeroes values but keeps family and
+child objects alive — cached handles stay valid across resets, which is
+what makes snapshot/reset/delta semantics usable from tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "Registry",
+    "RegistrySnapshot",
+    "DURATION_BUCKETS",
+    "SIZE_BUCKETS",
+    "default_registry",
+    "enabled",
+    "set_enabled",
+    "validate_metric_name",
+]
+
+# Process-wide instrumentation switch.  Checked by the instrumentation
+# sites in core/catalog/query (not by the registry itself, so direct
+# registry users always work).
+_ENABLED = True
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn core-layer instrumentation on or off process-wide."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+#: Latency buckets (seconds): ~10µs to 10s, roughly 1-2.5-5 per decade.
+DURATION_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    1e-1, 2.5e-1, 5e-1,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size buckets (bytes): 64 B to 64 MiB in powers of four.
+SIZE_BUCKETS = (
+    64, 256, 1024, 4096, 16384, 65536,
+    262144, 1048576, 4194304, 16777216, 67108864,
+)
+
+#: Unit suffixes the naming convention recognises.
+UNIT_SUFFIXES = ("total", "bytes", "seconds", "rows", "ratio", "current")
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+){2,}$")
+_LABEL_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def validate_metric_name(name: str) -> None:
+    """Raise ``ValueError`` unless *name* is ``<subsystem>_<noun>_<unit>``."""
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} must be snake_case with at least "
+            "three segments: <subsystem>_<noun>_<unit>"
+        )
+    unit = name.rsplit("_", 1)[1]
+    if unit not in UNIT_SUFFIXES:
+        raise ValueError(
+            f"metric name {name!r} must end in a unit suffix "
+            f"{UNIT_SUFFIXES}, got {unit!r}"
+        )
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. bytes currently buffered)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self._value = float(v)
+
+    def add(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def set_max(self, v: float) -> None:
+        """Record a high-water mark."""
+        with self._lock:
+            if v > self._value:
+                self._value = float(v)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: bucket counts + sum + count, no samples.
+
+    Quantiles are derived by linear interpolation inside the bucket that
+    contains the target rank, the same estimate Prometheus'
+    ``histogram_quantile`` computes server-side.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, lock: threading.Lock, buckets: Iterable[float]):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, v: float) -> None:
+        idx = bisect_left(self._bounds, v)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def bucket_counts(self) -> tuple[int, ...]:
+        return tuple(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1); 0.0 when empty."""
+        return _bucket_quantile(self._bounds, self._counts, self._count, q)
+
+
+def _bucket_quantile(
+    bounds: tuple[float, ...], counts: Iterable[int], total: int, q: float
+) -> float:
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cum = 0
+    lower = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            if i < len(bounds):
+                lower = bounds[i]
+            continue
+        if cum + c >= target:
+            if i >= len(bounds):  # +Inf bucket: clamp to last finite bound
+                return bounds[-1]
+            upper = bounds[i]
+            frac = (target - cum) / c
+            return lower + (upper - lower) * frac
+        cum += c
+        if i < len(bounds):
+            lower = bounds[i]
+    return bounds[-1]
+
+
+_TYPE_FACTORIES = {
+    "counter": lambda lock, _buckets: Counter(lock),
+    "gauge": lambda lock, _buckets: Gauge(lock),
+    "histogram": lambda lock, buckets: Histogram(lock, buckets),
+}
+
+
+class MetricFamily:
+    """A named metric plus its per-label-set children.
+
+    An unlabeled family proxies ``inc``/``set``/``add``/``observe`` to
+    its single implicit child, so ``registry.counter("a_b_total").inc()``
+    works without a ``labels()`` hop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = (),
+    ):
+        validate_metric_name(name)
+        for ln in label_names:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"bad label name {ln!r} for metric {name!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.label_names:
+            self._children[()] = _TYPE_FACTORIES[kind](self._lock, buckets)
+
+    def labels(self, **labels: object):
+        """Return the child instrument for this label set (creating it)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(labels)}"
+            )
+        key = tuple(str(labels[ln]) for ln in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _TYPE_FACTORIES[self.kind](self._lock, self.buckets)
+                    self._children[key] = child
+        return child
+
+    def _sole(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled {self.label_names}; "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+    # Unlabeled conveniences -------------------------------------------------
+    def inc(self, n: float = 1.0) -> None:
+        self._sole().inc(n)
+
+    def set(self, v: float) -> None:
+        self._sole().set(v)
+
+    def add(self, n: float = 1.0) -> None:
+        self._sole().add(n)
+
+    def set_max(self, v: float) -> None:
+        self._sole().set_max(v)
+
+    def observe(self, v: float) -> None:
+        self._sole().observe(v)
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+    def quantile(self, q: float) -> float:
+        return self._sole().quantile(q)
+
+    # Introspection ----------------------------------------------------------
+    def children(self) -> dict[tuple[str, ...], object]:
+        with self._lock:
+            return dict(self._children)
+
+    def _reset(self) -> None:
+        """Zero values in place, keeping child objects alive."""
+        with self._lock:
+            for child in self._children.values():
+                if isinstance(child, Histogram):
+                    child._counts[:] = [0] * len(child._counts)
+                    child._sum = 0.0
+                    child._count = 0
+                else:
+                    child._value = 0.0
+
+
+class Registry:
+    """Thread-safe collection of metric families."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: tuple[str, ...],
+        buckets: tuple[float, ...] = (),
+    ) -> MetricFamily:
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is not None:
+                if fam.kind != kind or fam.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {fam.kind} "
+                        f"with labels {fam.label_names}"
+                    )
+                return fam
+            fam = MetricFamily(name, kind, help, tuple(labels), buckets)
+            self._families[name] = fam
+            return fam
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, tuple(labels))
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Iterable[float] = DURATION_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(
+            name, "histogram", help, tuple(labels), tuple(buckets)
+        )
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def reset(self) -> None:
+        """Zero every value; families and children stay registered."""
+        for fam in self.families():
+            fam._reset()
+
+    # Snapshot / delta -------------------------------------------------------
+    def snapshot(self) -> "RegistrySnapshot":
+        data = {}
+        for fam in self.families():
+            samples = {}
+            for key, child in fam.children().items():
+                if isinstance(child, Histogram):
+                    samples[key] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": list(child.bucket_counts),
+                    }
+                else:
+                    samples[key] = child.value
+            data[fam.name] = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "label_names": fam.label_names,
+                "buckets": fam.buckets,
+                "samples": samples,
+            }
+        return RegistrySnapshot(data)
+
+    def delta(self, since: "RegistrySnapshot") -> "RegistrySnapshot":
+        return self.snapshot().delta(since)
+
+    # Exports ----------------------------------------------------------------
+    def export_text(self) -> str:
+        """Prometheus text exposition format."""
+        return self.snapshot().export_text()
+
+    def export_dict(self) -> dict:
+        return self.snapshot().export_dict()
+
+    def export_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.export_dict(), indent=indent, sort_keys=True)
+
+    def write_snapshot(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.export_json(indent=2))
+            fh.write("\n")
+
+
+def _escape_label(v: str) -> str:
+    return v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(v: float) -> str:
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+class RegistrySnapshot:
+    """Point-in-time copy of a registry's values.
+
+    Supports ``delta`` against an older snapshot (counter and histogram
+    values subtract; gauges keep the newer reading) so tests can assert
+    on exactly the increments their code produced.
+    """
+
+    SCHEMA = "repro_metrics/v1"
+
+    def __init__(self, data: dict):
+        self.data = data
+
+    def _sample(self, name: str, labels: Mapping[str, object]):
+        fam = self.data.get(name)
+        if fam is None:
+            return None
+        key = tuple(str(labels[ln]) for ln in fam["label_names"])
+        return fam["samples"].get(key)
+
+    def value(self, name: str, **labels: object) -> float:
+        """Counter/gauge value, or histogram observation count; 0 if absent."""
+        s = self._sample(name, labels)
+        if s is None:
+            return 0.0
+        if isinstance(s, dict):
+            return float(s["count"])
+        return float(s)
+
+    def sum(self, name: str, **labels: object) -> float:
+        """Histogram sum of observations; 0 if absent."""
+        s = self._sample(name, labels)
+        if isinstance(s, dict):
+            return float(s["sum"])
+        return 0.0
+
+    def quantile(self, name: str, q: float, **labels: object) -> float:
+        fam = self.data.get(name)
+        s = self._sample(name, labels)
+        if not isinstance(s, dict) or fam is None:
+            return 0.0
+        return _bucket_quantile(
+            tuple(fam["buckets"]), s["buckets"], s["count"], q
+        )
+
+    def delta(self, older: "RegistrySnapshot") -> "RegistrySnapshot":
+        out = {}
+        for name, fam in self.data.items():
+            old_fam = older.data.get(name, {"samples": {}})
+            samples = {}
+            for key, s in fam["samples"].items():
+                old = old_fam["samples"].get(key)
+                if isinstance(s, dict):
+                    if isinstance(old, dict):
+                        samples[key] = {
+                            "count": s["count"] - old["count"],
+                            "sum": s["sum"] - old["sum"],
+                            "buckets": [
+                                a - b
+                                for a, b in zip(s["buckets"], old["buckets"])
+                            ],
+                        }
+                    else:
+                        samples[key] = dict(s)
+                elif fam["kind"] == "counter":
+                    samples[key] = s - (
+                        old if isinstance(old, (int, float)) else 0.0
+                    )
+                else:  # gauge: keep the newer reading
+                    samples[key] = s
+            out[name] = dict(fam, samples=samples)
+        return RegistrySnapshot(out)
+
+    # Exports ----------------------------------------------------------------
+    def export_dict(self) -> dict:
+        metrics = []
+        for name in sorted(self.data):
+            fam = self.data[name]
+            samples = []
+            for key in sorted(fam["samples"]):
+                s = fam["samples"][key]
+                labels = dict(zip(fam["label_names"], key))
+                if isinstance(s, dict):
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": s["count"],
+                            "sum": s["sum"],
+                            "buckets": [
+                                {"le": le, "n": n}
+                                for le, n in zip(fam["buckets"], s["buckets"])
+                            ]
+                            + [{"le": "+Inf", "n": s["buckets"][-1]}],
+                            "p50": _bucket_quantile(
+                                tuple(fam["buckets"]), s["buckets"],
+                                s["count"], 0.50,
+                            ),
+                            "p90": _bucket_quantile(
+                                tuple(fam["buckets"]), s["buckets"],
+                                s["count"], 0.90,
+                            ),
+                            "p99": _bucket_quantile(
+                                tuple(fam["buckets"]), s["buckets"],
+                                s["count"], 0.99,
+                            ),
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": s})
+            metrics.append(
+                {
+                    "name": name,
+                    "type": fam["kind"],
+                    "help": fam["help"],
+                    "samples": samples,
+                }
+            )
+        return {"schema": self.SCHEMA, "metrics": metrics}
+
+    def export_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.export_dict(), indent=indent, sort_keys=True)
+
+    def export_text(self) -> str:
+        lines = []
+        for name in sorted(self.data):
+            fam = self.data[name]
+            if fam["help"]:
+                lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# TYPE {name} {fam['kind']}")
+            for key in sorted(fam["samples"]):
+                s = fam["samples"][key]
+                pairs = [
+                    f'{ln}="{_escape_label(v)}"'
+                    for ln, v in zip(fam["label_names"], key)
+                ]
+                base = "{" + ",".join(pairs) + "}" if pairs else ""
+                if isinstance(s, dict):
+                    cum = 0
+                    for le, n in zip(fam["buckets"], s["buckets"]):
+                        cum += n
+                        lp = pairs + [f'le="{_fmt(le)}"']
+                        lines.append(
+                            f"{name}_bucket{{{','.join(lp)}}} {cum}"
+                        )
+                    lp = pairs + ['le="+Inf"']
+                    lines.append(
+                        f"{name}_bucket{{{','.join(lp)}}} {s['count']}"
+                    )
+                    lines.append(f"{name}_sum{base} {_fmt(s['sum'])}")
+                    lines.append(f"{name}_count{base} {s['count']}")
+                else:
+                    lines.append(f"{name}{base} {_fmt(s)}")
+        return "\n".join(lines) + "\n"
+
+
+_DEFAULT = Registry()
+
+
+def default_registry() -> Registry:
+    """The process-wide registry all built-in instrumentation targets."""
+    return _DEFAULT
+
+
+def load_snapshot(obj) -> "RegistrySnapshot":
+    """Rehydrate an ``export_dict()`` payload into a queryable snapshot.
+
+    Accepts the payload itself or any dict embedding one under a
+    ``"metrics"`` key whose value has the export schema (as the
+    ``BENCH_*.json`` bench reports do).
+    """
+    if isinstance(obj, dict) and obj.get("schema") != RegistrySnapshot.SCHEMA:
+        inner = obj.get("metrics")
+        if isinstance(inner, dict) and inner.get("schema") == RegistrySnapshot.SCHEMA:
+            obj = inner
+    if not isinstance(obj, dict) or obj.get("schema") != RegistrySnapshot.SCHEMA:
+        raise ValueError(
+            f"not a {RegistrySnapshot.SCHEMA} metrics export"
+        )
+    data = {}
+    for m in obj["metrics"]:
+        label_names = ()
+        samples = {}
+        buckets = ()
+        for smp in m["samples"]:
+            label_names = tuple(smp["labels"].keys())
+            key = tuple(str(v) for v in smp["labels"].values())
+            if "buckets" in smp:
+                finite = [b for b in smp["buckets"] if b["le"] != "+Inf"]
+                buckets = tuple(b["le"] for b in finite)
+                samples[key] = {
+                    "count": smp["count"],
+                    "sum": smp["sum"],
+                    "buckets": [b["n"] for b in finite]
+                    + [smp["count"] - sum(b["n"] for b in finite)],
+                }
+            else:
+                samples[key] = float(smp["value"])
+        data[m["name"]] = {
+            "kind": m["type"],
+            "help": m.get("help", ""),
+            "label_names": label_names,
+            "buckets": buckets,
+            "samples": samples,
+        }
+    return RegistrySnapshot(data)

@@ -41,6 +41,7 @@ rows too.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -48,6 +49,8 @@ import numpy as np
 
 from repro.core.schema import Primitive, stats_kind
 from repro.expr import TriState, int_bound_is_exact
+from repro.obs import metrics as obs_metrics, trace as obs_trace
+from repro.obs.families import QUERY_SECONDS
 from repro.query.plan import (
     AggregateSpec,
     PlanError,
@@ -457,6 +460,27 @@ def _aggregate_one_reader(
     for the rest. Merges metadata partials first (row-group order),
     then the single ordered decode scan — deterministic regardless of
     executor width above or scan parallelism below."""
+    if not obs_trace.enabled():
+        return _aggregate_one_reader_impl(
+            reader, plan, use_metadata=use_metadata, stats=stats,
+            max_workers=max_workers,
+        )
+    storage = getattr(reader, "_storage", None)
+    with obs_trace.span("query.file", file=getattr(storage, "name", "?")):
+        return _aggregate_one_reader_impl(
+            reader, plan, use_metadata=use_metadata, stats=stats,
+            max_workers=max_workers,
+        )
+
+
+def _aggregate_one_reader_impl(
+    reader,
+    plan: QueryPlan,
+    *,
+    use_metadata: bool,
+    stats: QueryStats,
+    max_workers: int = 0,
+) -> dict:
     footer = reader.footer
     _validate_plan(plan, footer)
     partial: dict = {}
@@ -470,9 +494,15 @@ def _aggregate_one_reader(
         verdicts = _classify_groups(reader, plan.where)
         decode_groups = []
         for g, verdict in enumerate(verdicts):
-            if verdict is TriState.NEVER:
-                continue
             n_rows = footer.row_group(g).n_rows
+            if verdict is TriState.NEVER:
+                # zone-map-pruned here, before the decode scan ever
+                # sees the group — surface it in the per-layer skip
+                # counters or the pruning is invisible in QueryStats
+                stats.scan.bump(
+                    groups_total=1, groups_pruned=1, rows_pruned=n_rows
+                )
+                continue
             meta = (
                 _meta_partial(plan, n_rows, _group_stats_of(footer, g))
                 if verdict is TriState.ALWAYS
@@ -482,9 +512,14 @@ def _aggregate_one_reader(
                 decode_groups.append(g)
             else:
                 _merge_partials(partial, meta)
-                stats.groups_meta_answered += 1
-                stats.rows_from_metadata += n_rows
+                # counted into groups_total so the invariant
+                # scan.groups_total == scan.groups_pruned
+                #   + groups_meta_answered + scan.groups_scanned
+                # holds across answer paths
+                stats.scan.bump(groups_total=1)
+                stats.bump(groups_meta_answered=1, rows_from_metadata=n_rows)
     if decode_groups:
+        scanned_before = stats.scan.groups_scanned
         scan = reader.scan(
             _scan_projection(plan, footer),
             where=plan.where,
@@ -495,10 +530,12 @@ def _aggregate_one_reader(
         )
         for batch in scan:
             _accumulate_batch(partial, batch, plan)
-        stats.groups_decoded += stats.scan.groups_scanned
-        stats.files_decoded += 1
+        stats.bump(
+            groups_decoded=stats.scan.groups_scanned - scanned_before,
+            files_decoded=1,
+        )
     else:
-        stats.files_footer_answered += 1
+        stats.bump(files_footer_answered=1)
     return partial
 
 
@@ -611,14 +648,20 @@ def aggregate_reader(
     (the differential suite's second leg).
     """
     plan = _build_plan(aggregates, where, group_by)
-    stats = QueryStats(files_total=1)
-    partial = _aggregate_one_reader(
-        reader,
-        plan,
-        use_metadata=use_metadata,
-        stats=stats,
-        max_workers=max_workers,
-    )
+    stats = QueryStats()
+    stats.bump(files_total=1)
+    obs_on = obs_metrics.enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    with obs_trace.span("query.reader", aggregates=len(plan.aggregates)):
+        partial = _aggregate_one_reader(
+            reader,
+            plan,
+            use_metadata=use_metadata,
+            stats=stats,
+            max_workers=max_workers,
+        )
+    if obs_on:
+        QUERY_SECONDS.observe(time.perf_counter() - t0)
     return _finalize(
         plan, partial, stats, _kinds_from_footer(plan, reader.footer)
     )
@@ -686,8 +729,21 @@ def aggregate_snapshot(
     plan = _build_plan(aggregates, where, group_by)
     stats = QueryStats()
     files = list(pinned.snapshot.files)
-    stats.files_total = len(files)
+    stats.bump(files_total=len(files))
+    obs_on = obs_metrics.enabled()
+    t0 = time.perf_counter() if obs_on else 0.0
+    with obs_trace.span("query.snapshot", files=len(files)):
+        result = _aggregate_snapshot_impl(
+            pinned, plan, stats, files, use_metadata, max_workers
+        )
+    if obs_on:
+        QUERY_SECONDS.observe(time.perf_counter() - t0)
+    return result
 
+
+def _aggregate_snapshot_impl(
+    pinned, plan, stats, files, use_metadata, max_workers
+) -> QueryResult:
     log = pinned.schema_log()
     current_schema = log.current()
 
@@ -701,8 +757,10 @@ def aggregate_snapshot(
             else f.classify(plan.where, resolution)
         )
         if verdict is TriState.NEVER:
-            stats.files_pruned += 1
-            stats.scan.files_pruned += 1
+            stats.bump(files_pruned=1)
+            # mirror the catalog-layer prune into the scan-layer skip
+            # counters, matching what PinnedSnapshot.scan reports
+            stats.scan.bump(files_pruned=1, rows_pruned=f.row_count)
             dispositions.append(("skip", None))
             continue
         meta = None
@@ -716,8 +774,7 @@ def aggregate_snapshot(
                 plan, f.row_count, _file_stats_of(f, resolution)
             )
         if meta is not None:
-            stats.files_meta_answered += 1
-            stats.rows_from_metadata += f.row_count
+            stats.bump(files_meta_answered=1, rows_from_metadata=f.row_count)
             dispositions.append(("meta", meta))
         else:
             # open (footer pread) on the coordinator so the pin's

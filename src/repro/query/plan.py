@@ -42,6 +42,7 @@ from dataclasses import dataclass, field, fields
 
 from repro.core.reader import ScanStats
 from repro.expr import Expr
+from repro.obs.families import QUERY_MIRROR
 
 #: supported aggregate functions
 AGG_FUNCTIONS = ("count", "sum", "min", "max", "mean")
@@ -185,6 +186,18 @@ class QueryStats:
     @property
     def data_chunks_fetched(self) -> int:
         return self.scan.chunks_fetched
+
+    def bump(self, **deltas: int) -> None:
+        """Increment per-call counters *and* the process-wide registry.
+
+        Same contract as :meth:`ScanStats.bump`: organic increments go
+        through here so the global ``query_*`` families reconcile with
+        summed per-call stats; :meth:`merge` stays raw attribute math
+        so nothing is double-published.
+        """
+        for name, n in deltas.items():
+            setattr(self, name, getattr(self, name) + n)
+        QUERY_MIRROR.bump(deltas)
 
     def merge(self, other: "QueryStats") -> None:
         self.files_total += other.files_total

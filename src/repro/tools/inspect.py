@@ -16,6 +16,19 @@ via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
     repro-inspect catalog log DIR
     repro-inspect catalog snapshot DIR ID
     repro-inspect catalog files DIR [--snapshot ID] [--where EXPR]
+    repro-inspect metrics [SNAPSHOT.json] [--format table|text|json]
+    repro-inspect trace FILE [--top N]
+
+Observability surfaces (:mod:`repro.obs`): ``metrics`` renders a
+written registry snapshot (``Registry.write_snapshot`` /
+``export_json``, or a ``BENCH_*.json`` embedding one) — or, with no
+file, whatever the live in-process registry accumulated. Any other
+subcommand accepts a global ``--metrics`` flag that dumps the registry
+in Prometheus text format after the command's own output, so
+``repro-inspect query DIR --agg count --metrics`` shows the I/O and
+pushdown counters the query itself incremented. ``trace`` summarizes
+a span export (JSON-lines or Chrome trace-event JSON, see
+:mod:`repro.obs.trace`) as a top-spans-by-self-time table.
 
 ``FILE`` is a Bullion file on the local filesystem, opened through
 :class:`~repro.iosim.FileStorage`. ``--max-columns`` caps the listed
@@ -422,6 +435,162 @@ def _query_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# observability subcommands (metrics registry + span traces)
+# ---------------------------------------------------------------------------
+
+def describe_metrics(snapshot) -> str:
+    """Render a :class:`~repro.obs.metrics.RegistrySnapshot` as a table.
+
+    Counters and gauges print one row per labeled child; histograms
+    print observation count, sum, and the bucket-interpolated
+    p50/p90/p99. Families that have recorded nothing are summarized in
+    one trailing line instead of padding the table with zeros.
+    """
+    rows: list[tuple[str, str, str]] = []
+    silent: list[str] = []
+    for name in sorted(snapshot.data):
+        fam = snapshot.data[name]
+        samples = fam["samples"]
+        live = {
+            key: s
+            for key, s in samples.items()
+            if (s["count"] if isinstance(s, dict) else s)
+        }
+        if not live:
+            silent.append(name)
+            continue
+        for key in sorted(live):
+            s = live[key]
+            pairs = ",".join(
+                f"{ln}={v}" for ln, v in zip(fam["label_names"], key)
+            )
+            label = f"{name}{{{pairs}}}" if pairs else name
+            if isinstance(s, dict):
+                q = lambda p: _bucket_quantile_text(fam, s, p)  # noqa: E731
+                rows.append(
+                    (
+                        label,
+                        fam["kind"],
+                        f"count={s['count']} sum={s['sum']:.6g} "
+                        f"p50={q(0.50)} p90={q(0.90)} p99={q(0.99)}",
+                    )
+                )
+            else:
+                v = s
+                rows.append(
+                    (
+                        label,
+                        fam["kind"],
+                        str(int(v)) if float(v).is_integer() else f"{v:.6g}",
+                    )
+                )
+    width = max((len(r[0]) for r in rows), default=20)
+    lines = [f"{'metric':{width}s}  {'type':9s}  value"]
+    for label, kind, value in rows:
+        lines.append(f"{label:{width}s}  {kind:9s}  {value}")
+    if silent:
+        lines.append("")
+        lines.append(
+            f"{len(silent)} families with no recorded samples: "
+            + ", ".join(silent)
+        )
+    return "\n".join(lines)
+
+
+def _bucket_quantile_text(fam: dict, s: dict, q: float) -> str:
+    from repro.obs.metrics import _bucket_quantile
+
+    v = _bucket_quantile(tuple(fam["buckets"]), s["buckets"], s["count"], q)
+    return f"{v:.3g}"
+
+
+def _load_metrics_file(path: str):
+    import json
+
+    from repro.obs.metrics import load_snapshot
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return load_snapshot(json.load(fh))
+
+
+def _metrics_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.obs.metrics import default_registry
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect metrics",
+        description="Render a metrics registry snapshot (a file written "
+        "by Registry.write_snapshot / export_json, or a BENCH_*.json "
+        "embedding one); with no file, the live in-process registry.",
+    )
+    sub.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="path to a metrics snapshot JSON (default: live registry)",
+    )
+    sub.add_argument(
+        "--format", choices=("table", "text", "json"), default="table",
+        help="table (default), Prometheus text exposition, or JSON",
+    )
+    args = sub.parse_args(argv)
+
+    def run() -> None:
+        snap = (
+            default_registry().snapshot()
+            if args.snapshot is None
+            else _load_metrics_file(args.snapshot)
+        )
+        if args.format == "text":
+            print(snap.export_text(), end="")
+        elif args.format == "json":
+            print(snap.export_json(indent=2))
+        else:
+            print(describe_metrics(snap))
+
+    return _run_guarded(parser, run)
+
+
+def describe_trace(rows: list[dict], top: int = 15) -> str:
+    """Top spans by self-time from ``summarize_events`` rows."""
+    lines = [
+        f"{'span':28s} {'count':>7} {'total':>12} {'self':>12}  % self"
+    ]
+    total_self = sum(r["self_us"] for r in rows) or 1
+    for r in rows[:top]:
+        lines.append(
+            f"{r['name'][:28]:28s} {r['count']:>7} "
+            f"{r['total_us'] / 1e3:>10.3f}ms {r['self_us'] / 1e3:>10.3f}ms "
+            f" {100.0 * r['self_us'] / total_self:>5.1f}%"
+        )
+    if len(rows) > top:
+        lines.append(f"... and {len(rows) - top} more span names")
+    return "\n".join(lines)
+
+
+def _trace_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.obs.trace import load_trace, summarize_events
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect trace",
+        description="Summarize a span trace export (JSON-lines or "
+        "Chrome trace-event JSON) as top spans by self-time.",
+    )
+    sub.add_argument("file", help="path to a trace export")
+    sub.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="span names to list (default: 15)",
+    )
+    args = sub.parse_args(argv)
+
+    def run() -> None:
+        events = load_trace(args.file)
+        if not events:
+            print("empty trace: no spans recorded")
+            return
+        print(describe_trace(summarize_events(events), top=args.top))
+
+    return _run_guarded(parser, run)
+
+
+# ---------------------------------------------------------------------------
 # catalog subcommands
 # ---------------------------------------------------------------------------
 
@@ -615,14 +784,31 @@ def main(argv: list[str] | None = None) -> int:
         description="Describe the layout of a Bullion file.",
     )
     raw = list(sys.argv[1:] if argv is None else argv)
+    # global --metrics: run the command, then dump what the in-process
+    # registry accumulated while it ran (Prometheus text exposition)
+    dump_metrics = "--metrics" in raw
+    if dump_metrics:
+        raw = [a for a in raw if a != "--metrics"]
+    status: int | None = None
     if raw[:1] == ["catalog"]:
-        return _catalog_main(parser, raw[1:])
-    if raw[:1] == ["codecs"]:
-        return _codecs_main(parser, raw[1:])
-    if raw[:1] == ["scan"]:
-        return _scan_main(parser, raw[1:])
-    if raw[:1] == ["query"]:
-        return _query_main(parser, raw[1:])
+        status = _catalog_main(parser, raw[1:])
+    elif raw[:1] == ["codecs"]:
+        status = _codecs_main(parser, raw[1:])
+    elif raw[:1] == ["scan"]:
+        status = _scan_main(parser, raw[1:])
+    elif raw[:1] == ["query"]:
+        status = _query_main(parser, raw[1:])
+    elif raw[:1] == ["metrics"]:
+        status = _metrics_main(parser, raw[1:])
+    elif raw[:1] == ["trace"]:
+        status = _trace_main(parser, raw[1:])
+    if status is not None:
+        if dump_metrics:
+            from repro.obs.metrics import default_registry
+
+            print()
+            print(default_registry().export_text(), end="")
+        return status
     parser.add_argument("file", help="path to a Bullion file")
     parser.add_argument(
         "--max-columns",
@@ -648,6 +834,11 @@ def main(argv: list[str] | None = None) -> int:
             )
     except (OSError, ValueError) as exc:
         parser.exit(1, f"repro-inspect: {exc}\n")
+    if dump_metrics:
+        from repro.obs.metrics import default_registry
+
+        print()
+        print(default_registry().export_text(), end="")
     return 0
 
 

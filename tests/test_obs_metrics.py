@@ -1,0 +1,295 @@
+"""Unit tests for the metrics registry (``repro.obs.metrics``).
+
+Everything here uses private ``Registry()`` instances, never the
+process-wide default — the instrumentation tests cover that one via
+snapshot/delta so they compose with whatever ran before them.
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    Registry,
+    RegistrySnapshot,
+    load_snapshot,
+    validate_metric_name,
+)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = Registry()
+        c = reg.counter("t_things_total")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self):
+        reg = Registry()
+        c = reg.counter("t_things_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_add_setmax(self):
+        reg = Registry()
+        g = reg.gauge("t_buffered_bytes")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7
+        g.set_max(100)
+        g.set_max(50)  # lower value must not regress the high-water mark
+        assert g.value == 100
+
+
+class TestHistogram:
+    def test_observe_count_sum_buckets(self):
+        reg = Registry()
+        h = reg.histogram("t_fetch_seconds", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.05, 5.0):
+            h.observe(v)
+        child = h.labels() if h.label_names else h._sole()
+        assert child.count == 4
+        assert child.sum == pytest.approx(5.0555)
+        # one observation per bucket, one in the +Inf overflow slot
+        assert child.bucket_counts == (1, 1, 1, 1)
+
+    def test_quantile_interpolates_within_bucket(self):
+        reg = Registry()
+        h = reg.histogram("t_fetch_seconds", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.002, 0.004, 0.05):
+            h.observe(v)
+        # rank 2 of 4 lands in the (0.001, 0.01] bucket holding 2 obs:
+        # 0.001 + (2 - 1)/2 * 0.009 = 0.0055
+        assert h.quantile(0.5) == pytest.approx(0.0055)
+        # empty histogram: quantile is 0, never an error
+        assert reg.histogram("t_idle_seconds").quantile(0.99) == 0.0
+
+    def test_overflow_clamps_to_last_bound(self):
+        reg = Registry()
+        h = reg.histogram("t_fetch_seconds", buckets=(0.001, 0.01))
+        h.observe(99.0)
+        assert h.quantile(0.99) == 0.01
+
+
+# ---------------------------------------------------------------------------
+# families + registration
+# ---------------------------------------------------------------------------
+
+class TestFamilies:
+    def test_labeled_children_are_cached(self):
+        reg = Registry()
+        fam = reg.counter("io_read_ops_total", labels=("backend",))
+        a = fam.labels(backend="file")
+        b = fam.labels(backend="file")
+        assert a is b
+        fam.labels(backend="memory").inc(3)
+        a.inc()
+        assert fam.labels(backend="file").value == 1
+        assert fam.labels(backend="memory").value == 3
+
+    def test_label_set_is_enforced(self):
+        reg = Registry()
+        fam = reg.counter("io_read_ops_total", labels=("backend",))
+        with pytest.raises(ValueError, match="expects labels"):
+            fam.labels(wrong="x")
+        with pytest.raises(ValueError, match="expects labels"):
+            fam.labels()  # missing the backend label entirely
+
+    def test_unlabeled_family_proxies_directly(self):
+        reg = Registry()
+        reg.counter("a_b_total").inc(2)
+        assert reg.counter("a_b_total").value == 2
+        with pytest.raises(ValueError, match="is labeled"):
+            reg.counter("c_d_total", labels=("x",)).inc()
+
+    def test_registration_is_idempotent(self):
+        reg = Registry()
+        assert reg.counter("a_b_total") is reg.counter("a_b_total")
+
+    def test_kind_or_label_mismatch_rejected(self):
+        reg = Registry()
+        reg.counter("a_b_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("a_b_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("a_b_total", labels=("x",))
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "scan_rows_scanned_total",
+            "storage_io_bytes",
+            "query_aggregate_seconds",
+            "cache_hit_ratio",
+            "writer_buffered_rows",
+            "pool_threads_current",
+        ],
+    )
+    def test_good_names(self, name):
+        validate_metric_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "rows_total",          # two segments: no subsystem
+            "scan_rows_count",     # unrecognized unit suffix
+            "Scan_rows_total",     # not lowercase
+            "scan__rows_total",    # empty segment
+            "scan rows total",     # spaces
+        ],
+    )
+    def test_bad_names(self, name):
+        with pytest.raises(ValueError):
+            validate_metric_name(name)
+
+
+# ---------------------------------------------------------------------------
+# snapshot / delta / reset
+# ---------------------------------------------------------------------------
+
+class TestSnapshotDelta:
+    def _reg(self):
+        reg = Registry()
+        reg.counter("a_b_total").inc(5)
+        reg.gauge("a_buffered_bytes").set(100)
+        reg.histogram("a_wait_seconds", buckets=(0.01, 0.1)).observe(0.05)
+        return reg
+
+    def test_snapshot_values(self):
+        snap = self._reg().snapshot()
+        assert snap.value("a_b_total") == 5
+        assert snap.value("a_buffered_bytes") == 100
+        assert snap.value("a_wait_seconds") == 1  # histogram -> count
+        assert snap.sum("a_wait_seconds") == pytest.approx(0.05)
+        assert snap.value("never_registered_total") == 0
+
+    def test_delta_subtracts_counters_keeps_gauges(self):
+        reg = self._reg()
+        before = reg.snapshot()
+        reg.counter("a_b_total").inc(7)
+        reg.gauge("a_buffered_bytes").set(42)
+        reg.histogram("a_wait_seconds").observe(0.2)
+        d = reg.delta(before)
+        assert d.value("a_b_total") == 7
+        assert d.value("a_buffered_bytes") == 42  # newer reading, not diff
+        assert d.value("a_wait_seconds") == 1
+        assert d.sum("a_wait_seconds") == pytest.approx(0.2)
+
+    def test_reset_zeroes_but_keeps_handles_alive(self):
+        reg = Registry()
+        c = reg.counter("a_b_total")
+        c.inc(9)
+        reg.reset()
+        assert c.value == 0
+        c.inc()  # the pre-reset handle still feeds the same family
+        assert reg.snapshot().value("a_b_total") == 1
+
+
+# ---------------------------------------------------------------------------
+# exports
+# ---------------------------------------------------------------------------
+
+class TestExports:
+    def _reg(self):
+        reg = Registry()
+        reg.counter("io_read_ops_total", "reads", labels=("backend",)).labels(
+            backend="file"
+        ).inc(3)
+        h = reg.histogram("io_read_seconds", buckets=(0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        return reg
+
+    def test_prometheus_text(self):
+        text = self._reg().export_text()
+        assert "# TYPE io_read_ops_total counter" in text
+        assert 'io_read_ops_total{backend="file"} 3' in text
+        # bucket lines are cumulative; +Inf equals the count
+        assert 'io_read_seconds_bucket{le="0.01"} 1' in text
+        assert 'io_read_seconds_bucket{le="0.1"} 2' in text
+        assert 'io_read_seconds_bucket{le="+Inf"} 2' in text
+        assert "io_read_seconds_count 2" in text
+
+    def test_json_roundtrip_through_load_snapshot(self):
+        reg = self._reg()
+        payload = json.loads(reg.export_json())
+        snap = load_snapshot(payload)
+        assert snap.value("io_read_ops_total", backend="file") == 3
+        assert snap.value("io_read_seconds") == 2
+        assert snap.sum("io_read_seconds") == pytest.approx(0.055)
+        assert snap.quantile("io_read_seconds", 0.5) == pytest.approx(
+            reg.histogram("io_read_seconds").quantile(0.5)
+        )
+
+    def test_load_snapshot_unwraps_bench_report_embedding(self):
+        payload = {"schema": "bench_report/v1", "metrics": self._reg().export_dict()}
+        assert load_snapshot(payload).value("io_read_ops_total", backend="file") == 3
+        with pytest.raises(ValueError, match="metrics export"):
+            load_snapshot({"schema": "something/else"})
+
+    def test_export_dict_carries_quantiles(self):
+        payload = self._reg().export_dict()
+        assert payload["schema"] == RegistrySnapshot.SCHEMA
+        hist = next(m for m in payload["metrics"] if m["name"] == "io_read_seconds")
+        sample = hist["samples"][0]
+        assert sample["count"] == 2
+        assert {b["le"] for b in sample["buckets"]} == {0.01, 0.1, "+Inf"}
+        assert all(math.isfinite(sample[k]) for k in ("p50", "p90", "p99"))
+
+    def test_write_snapshot_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        self._reg().write_snapshot(path)
+        snap = load_snapshot(json.loads(path.read_text()))
+        assert snap.value("io_read_ops_total", backend="file") == 3
+
+
+# ---------------------------------------------------------------------------
+# thread safety: exact totals under contention
+# ---------------------------------------------------------------------------
+
+class TestConcurrency:
+    def test_eight_thread_hammer_exact_totals(self):
+        reg = Registry()
+        counter = reg.counter("hammer_ops_total")
+        labeled = reg.counter("hammer_labeled_total", labels=("worker",))
+        hist = reg.histogram("hammer_wait_seconds", buckets=DURATION_BUCKETS)
+        n_threads, per_thread = 8, 5000
+        start = threading.Barrier(n_threads)
+
+        def work(tid: int) -> None:
+            mine = labeled.labels(worker=tid % 2)
+            start.wait()
+            for i in range(per_thread):
+                counter.inc()
+                mine.inc(2)
+                hist.observe(1e-4 * (i % 7))
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = n_threads * per_thread
+        assert counter.value == total
+        assert labeled.labels(worker=0).value == 2 * (total // 2)
+        assert labeled.labels(worker=1).value == 2 * (total // 2)
+        child = hist._sole()
+        assert child.count == total
+        assert sum(child.bucket_counts) == total
+        expected_sum = n_threads * sum(1e-4 * (i % 7) for i in range(per_thread))
+        assert child.sum == pytest.approx(expected_sum, rel=1e-9)

@@ -1,0 +1,73 @@
+"""Metric naming-convention lint (the CI guard for new instrumentation).
+
+Every family in the canonical inventory — and every registration
+literal anywhere under ``src/`` — must follow the convention documented
+in ARCHITECTURE.md: ``<subsystem>_<noun>_<unit>``, lowercase
+snake_case, at least three segments, ending in a recognised unit
+suffix. The registry enforces this at runtime; this test enforces it
+at review time, including registrations on code paths tests never hit.
+"""
+
+import os
+import re
+
+from repro.obs.families import STANDARD_FAMILIES
+from repro.obs.metrics import UNIT_SUFFIXES, validate_metric_name
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+_REGISTRATION_RE = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\(\s*[\"']([^\"']+)[\"']"
+)
+
+
+def _iter_source():
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for fn in filenames:
+            if fn.endswith(".py"):
+                path = os.path.join(dirpath, fn)
+                with open(path, "r", encoding="utf-8") as fh:
+                    yield path, fh.read()
+
+
+def test_standard_families_exist_and_validate():
+    assert len(STANDARD_FAMILIES) >= 30, STANDARD_FAMILIES
+    for name in STANDARD_FAMILIES:
+        validate_metric_name(name)
+
+
+def test_every_registration_literal_in_src_validates():
+    found = []
+    for path, text in _iter_source():
+        for m in _REGISTRATION_RE.finditer(text):
+            found.append((path, m.group(1)))
+    # the canonical families module registers everything, so the sweep
+    # must at least see those literals
+    assert len(found) >= len(STANDARD_FAMILIES) // 2, found
+    bad = []
+    for path, name in found:
+        try:
+            validate_metric_name(name)
+        except ValueError as exc:
+            bad.append(f"{path}: {exc}")
+    assert not bad, "\n".join(bad)
+
+
+def test_unit_suffix_semantics():
+    """Families' unit suffixes match their instrument kind: counters
+    end in countable units, histograms in measurable ones."""
+    from repro.obs.metrics import default_registry
+
+    for name in STANDARD_FAMILIES:
+        fam = default_registry().get(name)
+        assert fam is not None, name
+        unit = name.rsplit("_", 1)[1]
+        assert unit in UNIT_SUFFIXES
+        if fam.kind == "counter":
+            assert unit == "total", (
+                f"counter {name} should end in _total, got _{unit}"
+            )
+        if fam.kind == "histogram":
+            assert unit in ("seconds", "bytes"), (
+                f"histogram {name} should measure seconds or bytes"
+            )

@@ -1,0 +1,177 @@
+"""Span tracer tests (``repro.obs.trace``): nesting, exporters, and
+the disabled-by-default zero-allocation guardrail.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BullionReader, BullionWriter, Table, WriterOptions
+from repro.iosim import SimulatedStorage
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    load_trace,
+    summarize_events,
+)
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+def _sleep_span(tracer, name, seconds, **attrs):
+    with tracer.span(name, **attrs):
+        time.sleep(seconds)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        recs = {r.name: r for r in tracer.records()}
+        assert recs["inner"].parent == recs["outer"].sid
+        assert recs["outer"].parent is None
+        assert inner.sid != outer.sid
+
+    def test_attrs_at_open_and_via_set(self, tracer):
+        with tracer.span("scan.file", file="f-1") as s:
+            s.set(rows=100)
+        (rec,) = tracer.records()
+        assert rec.attrs == {"file": "f-1", "rows": 100}
+
+    def test_sibling_spans_share_a_parent(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        recs = {r.name: r for r in tracer.records()}
+        assert recs["a"].parent == recs["parent"].sid
+        assert recs["b"].parent == recs["parent"].sid
+
+    def test_exception_still_closes_and_records(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert [r.name for r in tracer.records()] == ["inner", "outer"]
+        assert tracer._stack() == []  # nothing leaked on the thread
+
+    def test_threads_get_independent_stacks(self, tracer):
+        def worker():
+            with tracer.span("worker.span"):
+                pass
+
+        with tracer.span("main.span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        recs = {r.name: r for r in tracer.records()}
+        # the worker span must not adopt the main thread's open span
+        assert recs["worker.span"].parent is None
+        assert recs["worker.span"].tid != recs["main.span"].tid
+
+
+class TestDisabled:
+    def test_disabled_tracer_constructs_no_spans(self):
+        t = Tracer()  # disabled by default
+        before = Span.constructed
+        for _ in range(100):
+            with t.span("scan.fetch_chunk", col=1):
+                pass
+        assert Span.constructed == before
+        assert t.records() == []
+
+    def test_default_tracer_is_disabled_by_default(self):
+        assert trace_mod.enabled() is False
+
+    def test_full_scan_with_tracing_disabled_allocates_zero_spans(self):
+        """The overhead guardrail: a real multi-group filtered scan
+        through the instrumented reader constructs no Span objects
+        while tracing is off."""
+        storage = SimulatedStorage("guardrail")
+        writer = BullionWriter(
+            storage, options=WriterOptions(rows_per_page=50, rows_per_group=100)
+        )
+        writer.open()
+        writer.write_batch(
+            Table({
+                "x": np.arange(400, dtype=np.int64),
+                "y": np.arange(400, dtype=np.float64),
+            })
+        )
+        writer.finish()
+        assert trace_mod.enabled() is False
+        before = Span.constructed
+        from repro.expr import col
+
+        reader = BullionReader(storage)
+        total = sum(
+            b.num_rows for b in reader.scan(["x", "y"], where=col("x") >= 100)
+        )
+        assert total == 300
+        assert Span.constructed == before, (
+            "disabled tracing must not allocate spans on the scan path"
+        )
+
+
+class TestExporters:
+    def _trace(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer", table="events"):
+            _sleep_span(t, "inner", 0.002)
+            time.sleep(0.001)
+        return t
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        t = self._trace()
+        path = tmp_path / "spans.jsonl"
+        t.export_jsonl(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["name"] for e in lines] == ["outer", "inner"]
+        events = load_trace(path)
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        inner = next(e for e in events if e["name"] == "inner")
+        outer = next(e for e in events if e["name"] == "outer")
+        assert inner["parent"] == outer["sid"]
+
+    def test_chrome_export_shape(self, tmp_path):
+        t = self._trace()
+        path = tmp_path / "trace.json"
+        t.export_chrome(path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert all(e["ph"] == "X" and e["pid"] == 1 for e in events)
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        # correct nesting: the child interval sits inside the parent's
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1
+        assert outer["args"] == {"table": "events"}
+
+    def test_summarize_self_time_both_parentage_modes(self, tmp_path):
+        t = self._trace()
+        jsonl, chrome = tmp_path / "s.jsonl", tmp_path / "t.json"
+        t.export_jsonl(jsonl)
+        t.export_chrome(chrome)
+        for path in (jsonl, chrome):
+            rows = summarize_events(load_trace(path))
+            by_name = {r["name"]: r for r in rows}
+            outer, inner = by_name["outer"], by_name["inner"]
+            assert inner["self_us"] == pytest.approx(inner["total_us"])
+            # outer self-time excludes the inner span's duration
+            assert outer["self_us"] == pytest.approx(
+                outer["total_us"] - inner["total_us"], abs=1.0
+            )
+            assert outer["self_us"] < outer["total_us"]
