@@ -106,7 +106,11 @@ class PinnedSnapshot:
         if reader is None:
             storage = self._table.store.open_data(file_id)
             self._storages.append(storage)
-            reader = BullionReader(storage)
+            reader = BullionReader(
+                storage,
+                chunk_cache=self._table.chunk_cache,
+                **self._table.reader_options,
+            )
             self._reader_cache[file_id] = reader
         return reader
 
@@ -295,9 +299,24 @@ class _PrunedFileSet:
 class CatalogTable:
     """Open (or :meth:`create`) a table in a :class:`CatalogStore`."""
 
-    def __init__(self, store: CatalogStore, clock=None) -> None:
+    def __init__(
+        self,
+        store: CatalogStore,
+        clock=None,
+        *,
+        chunk_cache=None,
+        reader_options: dict | None = None,
+    ) -> None:
         self.store = store
         self.stats = CatalogStats()
+        #: a shared TieredChunkCache every reader this table opens will
+        #: use (keys carry storage identity + file fingerprint, so the
+        #: cache is correct across snapshots and epochs); None keeps
+        #: the historical per-reader LRU
+        self.chunk_cache = chunk_cache
+        #: extra BullionReader kwargs (e.g. ``coalesce_gap``) applied
+        #: to every reader opened through a pin
+        self.reader_options = dict(reader_options or {})
         self._clock = clock or (lambda: time.time_ns() // 1_000_000)
         self._lock = threading.Lock()
         self._snap_cache: dict[int, Snapshot] = {}
@@ -311,7 +330,14 @@ class CatalogTable:
             )
 
     @classmethod
-    def create(cls, store: CatalogStore, clock=None) -> "CatalogTable":
+    def create(
+        cls,
+        store: CatalogStore,
+        clock=None,
+        *,
+        chunk_cache=None,
+        reader_options: dict | None = None,
+    ) -> "CatalogTable":
         """Initialize an empty table (snapshot 0) in ``store``."""
         now = (clock or (lambda: time.time_ns() // 1_000_000))()
         genesis = Snapshot(
@@ -322,7 +348,12 @@ class CatalogTable:
         )
         if not store.put_metadata(snapshot_name(0), genesis.to_json()):
             raise FileExistsError("store already holds a table")
-        return cls(store, clock=clock)
+        return cls(
+            store,
+            clock=clock,
+            chunk_cache=chunk_cache,
+            reader_options=reader_options,
+        )
 
     # -- snapshot log ---------------------------------------------------
     def _snapshot_ids(self) -> list[int]:

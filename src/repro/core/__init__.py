@@ -6,6 +6,14 @@ contribution (§2.1, §2.3) plus its substrate.
 """
 
 from repro.core.checksum import MerkleTree, full_file_checksum
+from repro.core.chunk_cache import (
+    TieredChunkCache,
+    TierStats,
+    configure_process_cache,
+    notify_mutation,
+    process_cache,
+    storage_identity,
+)
 from repro.core.compact import CompactionReport, compact, merge
 from repro.core.dataset import LoaderOptions, ShardedDataset, TrainingDataLoader
 from repro.core.deletion import (
@@ -53,6 +61,12 @@ from repro.core.writer import (
 __all__ = [
     "MerkleTree",
     "full_file_checksum",
+    "TieredChunkCache",
+    "TierStats",
+    "configure_process_cache",
+    "notify_mutation",
+    "process_cache",
+    "storage_identity",
     "CompactionReport",
     "compact",
     "merge",

@@ -1,0 +1,490 @@
+"""Process-wide tiered chunk cache with single-flight dedup.
+
+On local devices the per-reader :class:`~repro.core.reader.ChunkCache`
+was enough: misses cost one cheap ``pread``. On an object store every
+miss is a paid round trip, so the cache becomes load-bearing
+infrastructure and grows three properties the per-reader LRU lacked:
+
+**Byte budgets and tiers.**  A memory tier holds raw chunk bytes under
+an LRU byte budget; evictions optionally *spill* to a bounded
+local-disk tier (cheap capacity between RAM and the remote store).
+Disk entries carry a content checksum and the serialized key, so a
+truncated or corrupted spill file — crash, concurrent trim, cosmic ray
+— is detected on read, deleted, and reported as a miss: the caller
+refetches from the backend and never sees bad bytes.
+
+**Correct sharing.**  Entries are keyed by
+``(storage identity, file fingerprint, column, row group)``.  The
+identity pins the backing device (path for files, object identity for
+in-memory devices); the fingerprint is a hash of the file's footer
+bytes, which covers the Merkle root, stats and deletion state — any
+in-place scrub or rewrite produces a new fingerprint, so one shared
+cache is safe across readers, snapshots and epochs without explicit
+invalidation.  Writers still call :func:`notify_mutation` to promptly
+drop orphaned entries for a mutated device.
+
+**Single-flight.**  Concurrent requests for one in-flight chunk
+coalesce onto a shared flight: exactly one caller fetches from the
+backend while the rest block on its event (counted as
+``cache_singleflight_waits_total``).  If the leader fails, a waiter
+retries the claim and becomes the new leader — a thundering herd on a
+hot chunk resolves to exactly one upstream fetch, never zero.
+
+The legacy per-reader ``ChunkCache`` in :mod:`repro.core.reader` is now
+a shim over this class (memory tier only, entry cap preserved for
+compatibility, plus the byte budget it always should have had).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.obs import metrics as obs_metrics
+from repro.util.hashing import hash_bytes
+
+__all__ = [
+    "TieredChunkCache",
+    "TierStats",
+    "storage_identity",
+    "process_cache",
+    "configure_process_cache",
+    "notify_mutation",
+]
+
+#: Spill-file layout: magic, payload checksum, key length, key, payload.
+_SPILL_MAGIC = b"SPL1"
+_SPILL_HEADER = struct.Struct("<4sQI")
+
+_DEFAULT_MEMORY_BYTES = 64 << 20
+
+
+@dataclass
+class TierStats:
+    """Counters for one :class:`TieredChunkCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
+    spills: int = 0
+    spill_bytes: int = 0
+    singleflight_waits: int = 0
+    checksum_failures: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class _Flight:
+    """One in-flight backend fetch that waiters can block on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: bytes | None = None
+        self.error: BaseException | None = None
+
+
+class TieredChunkCache:
+    """Byte-budgeted memory tier spilling to a bounded disk tier.
+
+    Keys are arbitrary hashable tuples; readers use
+    ``(storage identity, file fingerprint, col_idx, row_group)``.
+    ``memory_bytes`` bounds the memory tier; ``disk_bytes > 0`` (with a
+    ``disk_dir``) enables the spill tier.  ``max_entries`` additionally
+    caps the memory tier by entry count — the legacy ``ChunkCache``
+    contract, kept so the shim evicts exactly as before.
+
+    Thread-safe.  ``mirror=False`` keeps a cache's counters out of the
+    process-wide ``cache_tier_*`` metric families (used by the
+    per-reader shim, which publishes the legacy ``scan_cache_*``
+    families instead).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int = _DEFAULT_MEMORY_BYTES,
+        *,
+        disk_bytes: int = 0,
+        disk_dir: str | None = None,
+        max_entries: int | None = None,
+        name: str = "chunks",
+        mirror: bool = True,
+    ) -> None:
+        if disk_bytes > 0 and disk_dir is None:
+            raise ValueError("disk_bytes > 0 requires disk_dir")
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.disk_bytes = disk_bytes
+        self.disk_dir = disk_dir
+        self.max_entries = max_entries
+        self.stats = TierStats()
+        self._mirror = mirror
+        self._mem: OrderedDict[tuple, bytes] = OrderedDict()
+        self._mem_bytes = 0
+        #: key -> spill-file payload size (LRU order, oldest first)
+        self._disk: OrderedDict[tuple, int] = OrderedDict()
+        self._disk_bytes = 0
+        self._flights: dict[tuple, _Flight] = {}
+        self._lock = threading.Lock()
+        if disk_bytes > 0:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    @property
+    def memory_used(self) -> int:
+        return self._mem_bytes
+
+    @property
+    def disk_used(self) -> int:
+        return self._disk_bytes
+
+    def tier_sizes(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {
+                "memory": {
+                    "entries": len(self._mem),
+                    "bytes": self._mem_bytes,
+                    "budget_bytes": self.memory_bytes,
+                },
+                "disk": {
+                    "entries": len(self._disk),
+                    "bytes": self._disk_bytes,
+                    "budget_bytes": self.disk_bytes,
+                },
+            }
+
+    def _publish_gauges(self) -> None:
+        # called under self._lock
+        if not (self._mirror and obs_metrics.enabled()):
+            return
+        from repro.obs import families as _fam
+
+        _fam.CACHE_TIER_BYTES.labels(cache=self.name, tier="memory").set(
+            self._mem_bytes
+        )
+        if self.disk_bytes > 0:
+            _fam.CACHE_TIER_BYTES.labels(cache=self.name, tier="disk").set(
+                self._disk_bytes
+            )
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: tuple) -> bytes | None:
+        """Memory tier, then disk tier, else ``None`` (a miss)."""
+        with self._lock:
+            raw = self._lookup_locked(key)
+            if raw is None:
+                self.stats.misses += 1
+                self._count("miss")
+            return raw
+
+    def _lookup_locked(self, key: tuple) -> bytes | None:
+        raw = self._mem.get(key)
+        if raw is not None:
+            self._mem.move_to_end(key)
+            self.stats.memory_hits += 1
+            self._count("hit", tier="memory")
+            return raw
+        if key in self._disk:
+            raw = self._disk_read_locked(key)
+            if raw is not None:
+                # promote back into memory (it is hot again)
+                self.stats.disk_hits += 1
+                self._count("hit", tier="disk")
+                self._put_memory_locked(key, raw)
+                return raw
+        return None
+
+    # -- insert ---------------------------------------------------------
+    def put(self, key: tuple, raw: bytes) -> None:
+        with self._lock:
+            self._put_memory_locked(key, raw)
+
+    def _put_memory_locked(self, key: tuple, raw: bytes) -> None:
+        old = self._mem.pop(key, None)
+        if old is not None:
+            self._mem_bytes -= len(old)
+        self._mem[key] = raw
+        self._mem_bytes += len(raw)
+        while self._mem and (
+            self._mem_bytes > self.memory_bytes
+            or (
+                self.max_entries is not None
+                and len(self._mem) > self.max_entries
+            )
+        ):
+            victim_key, victim = self._mem.popitem(last=False)
+            self._mem_bytes -= len(victim)
+            self.stats.memory_evictions += 1
+            self._count("eviction", tier="memory")
+            if self.disk_bytes > 0 and len(victim) <= self.disk_bytes:
+                self._spill_locked(victim_key, victim)
+        self._publish_gauges()
+
+    # -- disk tier ------------------------------------------------------
+    def _spill_path(self, key: tuple) -> str:
+        assert self.disk_dir is not None
+        return os.path.join(
+            self.disk_dir, f"{hash_bytes(repr(key).encode()):016x}.chunk"
+        )
+
+    def _spill_locked(self, key: tuple, raw: bytes) -> None:
+        key_bytes = repr(key).encode()
+        header = _SPILL_HEADER.pack(
+            _SPILL_MAGIC, hash_bytes(raw), len(key_bytes)
+        )
+        try:
+            with open(self._spill_path(key), "wb") as f:
+                f.write(header + key_bytes + raw)
+        except OSError:
+            return  # disk tier is best-effort; a failed spill is a miss
+        old = self._disk.pop(key, None)
+        if old is not None:
+            self._disk_bytes -= old
+        self._disk[key] = len(raw)
+        self._disk_bytes += len(raw)
+        self.stats.spills += 1
+        self.stats.spill_bytes += len(raw)
+        self._count("spill", nbytes=len(raw))
+        while self._disk and self._disk_bytes > self.disk_bytes:
+            victim_key, nbytes = self._disk.popitem(last=False)
+            self._disk_bytes -= nbytes
+            self.stats.disk_evictions += 1
+            self._count("eviction", tier="disk")
+            self._unlink_quiet(victim_key)
+
+    def _disk_read_locked(self, key: tuple) -> bytes | None:
+        """Read + verify a spill entry; corrupt/truncated → drop, miss."""
+        expected = self._disk.get(key)
+        key_bytes = repr(key).encode()
+        try:
+            with open(self._spill_path(key), "rb") as f:
+                blob = f.read()
+        except OSError:
+            blob = b""
+        ok = len(blob) >= _SPILL_HEADER.size
+        if ok:
+            magic, checksum, key_len = _SPILL_HEADER.unpack_from(blob)
+            body = blob[_SPILL_HEADER.size :]
+            ok = (
+                magic == _SPILL_MAGIC
+                and key_len == len(key_bytes)
+                and body[:key_len] == key_bytes
+            )
+            if ok:
+                raw = body[key_len:]
+                ok = len(raw) == expected and hash_bytes(raw) == checksum
+        if not ok:
+            self._disk.pop(key, None)
+            if expected is not None:
+                self._disk_bytes -= expected
+            self._unlink_quiet(key)
+            self.stats.checksum_failures += 1
+            self._count("checksum_failure")
+            return None
+        self._disk.move_to_end(key)
+        return raw
+
+    def _unlink_quiet(self, key: tuple) -> None:
+        try:
+            os.unlink(self._spill_path(key))
+        except OSError:
+            pass
+
+    # -- single-flight ---------------------------------------------------
+    def claim(self, key: tuple) -> tuple[str, object]:
+        """Atomically resolve a key to one of three outcomes.
+
+        ``("hit", raw)``    — cached (either tier); no fetch needed.
+        ``("mine", None)``  — the caller is now the flight leader and
+                              MUST later :meth:`fulfill` or
+                              :meth:`abandon` the key.
+        ``("wait", flight)``— another thread is fetching; block on
+                              ``flight.event`` and re-claim if its
+                              ``error`` is set.
+        """
+        with self._lock:
+            raw = self._lookup_locked(key)
+            if raw is not None:
+                return ("hit", raw)
+            flight = self._flights.get(key)
+            if flight is not None:
+                self.stats.singleflight_waits += 1
+                self._count("singleflight_wait")
+                return ("wait", flight)
+            self.stats.misses += 1
+            self._count("miss")
+            self._flights[key] = _Flight()
+            return ("mine", None)
+
+    def fulfill(self, key: tuple, raw: bytes) -> None:
+        """Leader path: publish fetched bytes and wake all waiters."""
+        with self._lock:
+            self._put_memory_locked(key, raw)
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.value = raw
+            flight.event.set()
+
+    def abandon(self, key: tuple, error: BaseException | None = None) -> None:
+        """Leader path on failure: wake waiters so one can retry."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.error = error or RuntimeError("fetch abandoned")
+            flight.event.set()
+
+    def get_or_fetch(self, key: tuple, fetch) -> bytes:
+        """Single-flight convenience wrapper: at most one live fetch."""
+        while True:
+            kind, val = self.claim(key)
+            if kind == "hit":
+                return val  # type: ignore[return-value]
+            if kind == "mine":
+                try:
+                    raw = fetch()
+                except BaseException as exc:
+                    self.abandon(key, exc)
+                    raise
+                self.fulfill(key, raw)
+                return raw
+            val.event.wait()  # type: ignore[union-attr]
+            if val.error is None:  # type: ignore[union-attr]
+                return val.value  # type: ignore[union-attr]
+            # leader failed: loop, re-claim, possibly become the leader
+
+    # -- invalidation ----------------------------------------------------
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        """Drop every entry whose key starts with ``prefix``.
+
+        Fingerprinted keys make stale entries unreachable anyway; this
+        reclaims their budget promptly after a known mutation.
+        """
+        n = len(prefix)
+        dropped = 0
+        with self._lock:
+            for key in [k for k in self._mem if k[:n] == prefix]:
+                self._mem_bytes -= len(self._mem.pop(key))
+                dropped += 1
+            for key in [k for k in self._disk if k[:n] == prefix]:
+                self._disk_bytes -= self._disk.pop(key)
+                self._unlink_quiet(key)
+                dropped += 1
+            self._publish_gauges()
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mem.clear()
+            self._mem_bytes = 0
+            for key in list(self._disk):
+                self._unlink_quiet(key)
+            self._disk.clear()
+            self._disk_bytes = 0
+            self._publish_gauges()
+
+    # -- metrics ---------------------------------------------------------
+    def _count(
+        self, what: str, tier: str = "", nbytes: int = 0
+    ) -> None:
+        # called under self._lock
+        if not (self._mirror and obs_metrics.enabled()):
+            return
+        from repro.obs import families as _fam
+
+        if what == "hit":
+            _fam.CACHE_TIER_HITS.labels(tier=tier).inc()
+        elif what == "miss":
+            _fam.CACHE_TIER_MISSES.inc()
+        elif what == "eviction":
+            _fam.CACHE_TIER_EVICTIONS.labels(tier=tier).inc()
+        elif what == "spill":
+            _fam.CACHE_SPILLS.inc()
+            _fam.CACHE_SPILL_BYTES.inc(nbytes)
+        elif what == "singleflight_wait":
+            _fam.CACHE_SINGLEFLIGHT_WAITS.inc()
+        elif what == "checksum_failure":
+            _fam.CACHE_CHECKSUM_FAILURES.inc()
+
+
+# ---------------------------------------------------------------------------
+# cache keys: storage identity + file fingerprint
+# ---------------------------------------------------------------------------
+
+def storage_identity(storage) -> str:
+    """A stable identity for the device underneath any wrapper stack.
+
+    File-backed devices identify by absolute path (every fresh
+    ``FileStorage`` over one file shares entries); in-memory devices by
+    object identity (the catalog's memory store hands out the *same*
+    ``SimulatedStorage`` per file id, so identity is stable exactly as
+    long as the bytes are reachable).
+    """
+    base = storage
+    while hasattr(base, "inner"):
+        base = base.inner
+    path = getattr(base, "path", None)
+    if path is not None:
+        return f"file:{os.path.abspath(path)}"
+    return f"mem:{id(base):x}"
+
+
+# ---------------------------------------------------------------------------
+# the process-wide singleton (opt-in: nothing is created until asked for)
+# ---------------------------------------------------------------------------
+
+_process_cache: TieredChunkCache | None = None
+_process_lock = threading.Lock()
+
+
+def process_cache() -> TieredChunkCache:
+    """The lazily-created process-wide shared cache."""
+    global _process_cache
+    with _process_lock:
+        if _process_cache is None:
+            _process_cache = TieredChunkCache(name="process")
+        return _process_cache
+
+
+def configure_process_cache(
+    memory_bytes: int = _DEFAULT_MEMORY_BYTES,
+    *,
+    disk_bytes: int = 0,
+    disk_dir: str | None = None,
+) -> TieredChunkCache:
+    """(Re)build the process-wide cache with explicit budgets."""
+    global _process_cache
+    with _process_lock:
+        if _process_cache is not None:
+            _process_cache.clear()
+        _process_cache = TieredChunkCache(
+            memory_bytes,
+            disk_bytes=disk_bytes,
+            disk_dir=disk_dir,
+            name="process",
+        )
+        return _process_cache
+
+
+def notify_mutation(storage) -> None:
+    """Drop process-cache entries for a device that just changed.
+
+    Called by the writer and the deletion path.  Cheap no-op unless a
+    process cache exists; fingerprinted keys already guarantee stale
+    entries can never be *served*, this merely frees their budget.
+    """
+    with _process_lock:
+        cache = _process_cache
+    if cache is not None:
+        cache.invalidate_prefix((storage_identity(storage),))

@@ -1,10 +1,20 @@
 """BullionReader: scan-oriented reads over a Bullion file.
 
-The access path follows §2.3 exactly: one ``pread`` for the footer tail,
-one for the footer, then a binary map scan per requested column and a
-single coalesced ``pread`` per (column, row group) chunk. Metadata cost
-is independent of how many *other* columns the file holds — the Fig 5
+The access path follows §2.3: one speculative ``pread`` covers the
+footer tail *and* (for typical footers) the footer itself — a single
+metadata round trip per file — then a binary map scan per requested
+column locates the (column, row group) chunk extents. Metadata cost is
+independent of how many *other* columns the file holds — the Fig 5
 property.
+
+Chunk fetches go through a batch planner: the extents a scan step
+needs are claimed from the chunk cache with single-flight dedup, the
+misses are sorted and **coalesced** — adjacent (or, with a configured
+gap threshold, near-adjacent) extents merge into one ranged ``pread``
+whose result is sliced back into per-chunk bytes. On local devices
+this only removes redundant syscalls; on :class:`~repro.iosim.ObjectStorage`,
+where every request pays a fixed round trip, it is the difference
+between per-chunk and per-row-group request counts.
 
 Reads are built around :class:`Scan` — a lazy batch iterator that fuses
 
@@ -30,12 +40,12 @@ from __future__ import annotations
 import struct
 import threading
 import time
-from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.chunk_cache import TieredChunkCache, storage_identity
 from repro.core.footer import MAGIC, FooterView
 from repro.core.page import PAGE_HEADER_SIZE, PageHeader
 from repro.core.schema import Primitive, Schema, STORAGE_DTYPES, stats_kind
@@ -57,12 +67,25 @@ from repro.obs.families import (
     CACHE_MISSES,
     CHUNK_FETCH_SECONDS,
     READER_OPENS,
+    SCAN_COALESCE_WASTE_BYTES,
+    SCAN_COALESCED_CHUNKS,
+    SCAN_COALESCED_REQUESTS,
     SCAN_MIRROR,
     backend_label,
 )
 from repro.util.hashing import hash_bytes
 
 _TAIL_SIZE = 4 + len(MAGIC)
+
+#: Bytes speculatively read from the end of the file at open: one
+#: request covers the 8-byte tail and, for typical footers, the whole
+#: footer — a single metadata round trip on object stores. Footers
+#: larger than this cost one extra pread, exactly the historical shape.
+_TAIL_SPECULATION = 4096
+
+#: Upper bound on one coalesced ranged read (further capped by the
+#: storage's own ``max_request_bytes`` when it advertises one).
+_MAX_RUN_BYTES = 8 << 20
 
 
 class BullionFormatError(ValueError):
@@ -146,51 +169,108 @@ class ScanStats:
 
 
 class ChunkCache:
-    """Tiny thread-safe LRU over raw (column, row-group) chunk bytes."""
+    """Per-reader LRU over raw (column, row-group) chunk bytes.
 
-    def __init__(self, capacity: int = 32) -> None:
+    Now a shim over :class:`~repro.core.chunk_cache.TieredChunkCache`
+    (memory tier only). The historical entry cap is preserved — the
+    eviction sequence is bit-compatible with the old entry-counted LRU
+    — and joined by the byte budget it always should have had, so
+    memory use no longer scales with chunk size. ``capacity=0``
+    disables caching entirely.
+
+    Counters publish to the legacy ``scan_cache_*`` metric families;
+    the inner tier is unmirrored so nothing double-counts into the
+    shared ``cache_tier_*`` families.
+    """
+
+    def __init__(
+        self, capacity: int = 32, capacity_bytes: int = 64 << 20
+    ) -> None:
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._entries: OrderedDict[tuple[int, int], bytes] = OrderedDict()
-        self._lock = threading.Lock()
+        self._tier = (
+            TieredChunkCache(
+                capacity_bytes,
+                max_entries=capacity,
+                name="reader",
+                mirror=False,
+            )
+            if capacity > 0
+            else None
+        )
 
-    def get(self, key: tuple[int, int]) -> bytes | None:
-        with self._lock:
-            raw = self._entries.get(key)
-            if raw is None:
-                self.misses += 1
-                if obs_metrics.enabled():
-                    CACHE_MISSES.inc()
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
+    def _hit(self) -> None:
+        self.hits += 1
+        if obs_metrics.enabled():
+            CACHE_HITS.inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if obs_metrics.enabled():
+            CACHE_MISSES.inc()
+
+    def _count_evictions(self, before: int) -> None:
+        evicted = self._tier.stats.memory_evictions - before
+        if evicted:
+            self.evictions += evicted
             if obs_metrics.enabled():
-                CACHE_HITS.inc()
-            return raw
+                CACHE_EVICTIONS.inc(evicted)
 
-    def put(self, key: tuple[int, int], raw: bytes) -> None:
-        if self.capacity <= 0:
+    def get(self, key: tuple) -> bytes | None:
+        if self._tier is None:
+            self._miss()
+            return None
+        raw = self._tier.get(key)
+        if raw is None:
+            self._miss()
+        else:
+            self._hit()
+        return raw
+
+    def put(self, key: tuple, raw: bytes) -> None:
+        if self._tier is None:
             return
-        with self._lock:
-            self._entries[key] = raw
-            self._entries.move_to_end(key)
-            evicted = 0
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                evicted += 1
-            if evicted:
-                self.evictions += evicted
-                if obs_metrics.enabled():
-                    CACHE_EVICTIONS.inc(evicted)
+        before = self._tier.stats.memory_evictions
+        self._tier.put(key, raw)
+        self._count_evictions(before)
+
+    # -- single-flight surface (used by the batch fetch planner) --------
+    def claim(self, key: tuple) -> tuple[str, object]:
+        if self._tier is None:
+            self._miss()
+            return ("mine", None)  # uncached: every claimer fetches
+        kind, val = self._tier.claim(key)
+        if kind == "hit":
+            self._hit()
+        elif kind == "mine":
+            self._miss()
+        return kind, val
+
+    def fulfill(self, key: tuple, raw: bytes) -> None:
+        if self._tier is None:
+            return
+        before = self._tier.stats.memory_evictions
+        self._tier.fulfill(key, raw)
+        self._count_evictions(before)
+
+    def abandon(self, key: tuple, error: BaseException | None = None) -> None:
+        if self._tier is not None:
+            self._tier.abandon(key, error)
+
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        if self._tier is None:
+            return 0
+        return self._tier.invalidate_prefix(prefix)
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+        if self._tier is not None:
+            self._tier.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return 0 if self._tier is None else len(self._tier)
 
 
 class Scan:
@@ -330,9 +410,11 @@ class Scan:
             yield from self._group_tables_parallel()
             return
         for g in groups:
+            fetched = self._reader._fetch_chunks(
+                [(col_idx, g) for _name, col_idx, _pt in self._cols]
+            )
             raws = [
-                self._reader._fetch_chunk(col_idx, g)
-                for _name, col_idx, _pt in self._cols
+                fetched[(col_idx, g)] for _name, col_idx, _pt in self._cols
             ]
             table = self._assemble(g, raws)
             self.stats.bump(
@@ -348,26 +430,28 @@ class Scan:
         reader = self._reader
         window = self._prefetch_groups
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            futures: dict[tuple[int, int], object] = {}
+            futures: dict[int, object] = {}
             submitted = 0
 
             def submit_through(limit: int) -> None:
                 nonlocal submitted
                 while submitted < min(limit, len(groups)):
                     g = groups[submitted]
-                    # keyed by projection position, not col_idx: the
-                    # same column may legitimately appear twice
-                    for pos, (_name, col_idx, _pt) in enumerate(self._cols):
-                        futures[(submitted, pos)] = pool.submit(
-                            reader._fetch_chunk, col_idx, g
-                        )
+                    # one future per group: its chunks fetch together
+                    # through the coalescing planner (duplicate
+                    # projection columns dedup inside _fetch_chunks)
+                    futures[submitted] = pool.submit(
+                        reader._fetch_chunks,
+                        [(col_idx, g) for _name, col_idx, _pt in self._cols],
+                    )
                     submitted += 1
 
             submit_through(1 + window)
             for i, g in enumerate(groups):
+                fetched = futures.pop(i).result()
                 raws = [
-                    futures.pop((i, pos)).result()
-                    for pos in range(len(self._cols))
+                    fetched[(col_idx, g)]
+                    for _name, col_idx, _pt in self._cols
                 ]
                 submit_through(i + 2 + window)
                 table = self._assemble(g, raws)
@@ -407,8 +491,11 @@ class Scan:
         try:
             if pool is None:
                 for g in groups:
+                    fetched = reader._fetch_chunks(
+                        [(col_idx, g) for _name, col_idx, _pt in filter_cols]
+                    )
                     raws = {
-                        name: reader._fetch_chunk(col_idx, g)
+                        name: fetched[(col_idx, g)]
                         for name, col_idx, _pt in filter_cols
                     }
                     table = self._filtered_group(g, raws, None)
@@ -416,24 +503,25 @@ class Scan:
                         yield table
                 return
             window = self._prefetch_groups
-            futures: dict[tuple[int, str], object] = {}
+            futures: dict[int, object] = {}
             submitted = 0
 
             def submit_through(limit: int) -> None:
                 nonlocal submitted
                 while submitted < min(limit, len(groups)):
                     g = groups[submitted]
-                    for name, col_idx, _pt in filter_cols:
-                        futures[(submitted, name)] = pool.submit(
-                            reader._fetch_chunk, col_idx, g
-                        )
+                    futures[submitted] = pool.submit(
+                        reader._fetch_chunks,
+                        [(col_idx, g) for _name, col_idx, _pt in filter_cols],
+                    )
                     submitted += 1
 
             submit_through(1 + window)
             for i, g in enumerate(groups):
+                fetched = futures.pop(i).result()
                 raws = {
-                    name: futures.pop((i, name)).result()
-                    for name, _idx, _pt in filter_cols
+                    name: fetched[(col_idx, g)]
+                    for name, col_idx, _pt in filter_cols
                 }
                 submit_through(i + 2 + window)
                 table = self._filtered_group(g, raws, pool)
@@ -475,24 +563,16 @@ class Scan:
             stats.bump(chunks_skipped=residual, groups_empty=1)
             return None
         # fetch the residual projected chunks (only now — the point of
-        # late materialization)
-        raws: dict[str, bytes] = {}
+        # late materialization); one planner call coalesces the lot
         to_fetch = [
             (name, col_idx)
             for name, col_idx, _pt in self._cols
-            if name not in decoded and name not in raws
+            if name not in decoded
         ]
-        if pool is not None and len(to_fetch) > 1:
-            fetched = {
-                name: pool.submit(reader._fetch_chunk, col_idx, g)
-                for name, col_idx in to_fetch
-            }
-            raws = {name: f.result() for name, f in fetched.items()}
-        else:
-            raws = {
-                name: reader._fetch_chunk(col_idx, g)
-                for name, col_idx in to_fetch
-            }
+        fetched = reader._fetch_chunks(
+            [(col_idx, g) for _name, col_idx in to_fetch]
+        )
+        raws = {name: fetched[(col_idx, g)] for name, col_idx in to_fetch}
         stats.bump(chunks_fetched=len(raws))
         out: dict[str, object] = {}
         for name, col_idx, ptype in self._cols:
@@ -533,7 +613,12 @@ class BullionReader:
     """Read-side API: open, scan, project, verify."""
 
     def __init__(
-        self, storage: Storage, chunk_cache_size: int = 32
+        self,
+        storage: Storage,
+        chunk_cache_size: int = 32,
+        *,
+        chunk_cache: TieredChunkCache | None = None,
+        coalesce_gap: int = 0,
     ) -> None:
         self._storage = storage
         if storage.size < _TAIL_SIZE:
@@ -541,17 +626,53 @@ class BullionReader:
                 f"not a Bullion file: {storage.size} bytes is smaller "
                 f"than the {_TAIL_SIZE}-byte tail"
             )
-        tail = storage.pread(storage.size - _TAIL_SIZE, _TAIL_SIZE)
+        # one speculative tail read covers the 8-byte tail and, for
+        # typical footers, the footer itself: one metadata round trip
+        spec = min(storage.size, max(_TAIL_SIZE, _TAIL_SPECULATION))
+        tail_block = storage.pread(storage.size - spec, spec)
+        tail = tail_block[-_TAIL_SIZE:]
         (footer_len,) = struct.unpack_from("<I", tail, 0)
         if tail[4:] != MAGIC:
             raise BullionFormatError(f"bad trailing magic {tail[4:]!r}")
+        if footer_len + _TAIL_SIZE > storage.size:
+            raise BullionFormatError(
+                f"footer length {footer_len} exceeds file size {storage.size}"
+            )
         footer_offset = storage.size - _TAIL_SIZE - footer_len
-        footer_bytes = storage.pread(footer_offset, footer_len)
+        if footer_len + _TAIL_SIZE <= spec:
+            footer_bytes = tail_block[
+                spec - _TAIL_SIZE - footer_len : spec - _TAIL_SIZE
+            ]
+        else:
+            footer_bytes = storage.pread(footer_offset, footer_len)
         self.footer = FooterView(footer_bytes, file_offset=footer_offset)
-        #: raw chunk LRU shared by every scan from this reader; assumes
-        #: the file is immutable for the reader's lifetime — reopen (or
-        #: ``invalidate_cache()``) after in-place deletions
-        self.chunk_cache = ChunkCache(chunk_cache_size)
+        #: content fingerprint for shared-cache keys: a hash of the
+        #: footer bytes, which cover the Merkle root, stats and the
+        #: deletion vector — any in-place scrub or rewrite yields a new
+        #: fingerprint, so shared-cache entries can never serve stale
+        self.fingerprint = hash_bytes(footer_bytes)
+        #: how many gap bytes the fetch planner may over-read to merge
+        #: two near-adjacent extents into one ranged request (0: only
+        #: truly adjacent extents merge, so bytes moved never grow;
+        #: -1 disables coalescing entirely — every chunk is its own
+        #: request, the historical per-chunk access pattern)
+        self.coalesce_gap = coalesce_gap
+        if chunk_cache is not None:
+            #: a shared (typically process-wide) tiered cache: keys are
+            #: prefixed with (storage identity, file fingerprint) so
+            #: entries are correct across readers, snapshots and epochs
+            self.chunk_cache = chunk_cache
+            self._cache_prefix: tuple = (
+                storage_identity(storage),
+                self.fingerprint,
+            )
+        else:
+            #: raw chunk LRU shared by every scan from this reader;
+            #: assumes the file is immutable for the reader's lifetime
+            #: — reopen (or ``invalidate_cache()``) after in-place
+            #: deletions
+            self.chunk_cache = ChunkCache(chunk_cache_size)
+            self._cache_prefix = ()
         # resolved once: per-fetch latency histogram child for this
         # storage backend (class-derived label, never the file name)
         self._fetch_hist = CHUNK_FETCH_SECONDS.labels(
@@ -585,7 +706,12 @@ class BullionReader:
         return [c.name for c in self.footer.physical_columns()]
 
     def invalidate_cache(self) -> None:
-        self.chunk_cache.clear()
+        if self._cache_prefix:
+            # shared cache: drop every entry for this device (any
+            # fingerprint), not other readers' files
+            self.chunk_cache.invalidate_prefix((self._cache_prefix[0],))
+        else:
+            self.chunk_cache.clear()
 
     # -- data -----------------------------------------------------------
     def scan(
@@ -755,12 +881,11 @@ class BullionReader:
             max_workers=max_workers,
         )
 
-    def _fetch_chunk(self, col_idx: int, rg: int) -> bytes:
-        """One coalesced pread for a (column, row-group) extent."""
-        key = (col_idx, rg)
-        raw = self.chunk_cache.get(key)
-        if raw is not None:
-            return raw
+    def _cache_key(self, col_idx: int, rg: int) -> tuple:
+        return self._cache_prefix + (col_idx, rg)
+
+    def _pread_chunk(self, col_idx: int, rg: int) -> bytes:
+        """One backend pread for a single (column, row-group) extent."""
         chunk = self.footer.chunk(col_idx, rg)
         if obs_metrics.enabled():
             with obs_trace.span("scan.fetch_chunk", col=col_idx, group=rg):
@@ -769,8 +894,129 @@ class BullionReader:
                 self._fetch_hist.observe(time.perf_counter() - t0)
         else:
             raw = self._storage.pread(chunk.offset, chunk.size)
-        self.chunk_cache.put(key, raw)
         return raw
+
+    def _fetch_chunk(self, col_idx: int, rg: int) -> bytes:
+        """Fetch one chunk through the cache with single-flight dedup."""
+        cache = self.chunk_cache
+        ckey = self._cache_key(col_idx, rg)
+        while True:
+            kind, val = cache.claim(ckey)
+            if kind == "hit":
+                return val
+            if kind == "mine":
+                try:
+                    raw = self._pread_chunk(col_idx, rg)
+                except BaseException as exc:
+                    cache.abandon(ckey, exc)
+                    raise
+                cache.fulfill(ckey, raw)
+                return raw
+            val.event.wait()
+            if val.error is None:
+                return val.value
+            # the leader's fetch failed: re-claim (possibly as leader)
+
+    def _fetch_chunks(
+        self, keys: list[tuple[int, int]]
+    ) -> dict[tuple[int, int], bytes]:
+        """Batch fetch with single-flight claims and ranged coalescing.
+
+        Claims every missing key up front, merges the claimed extents
+        into maximal runs — adjacent, or within :attr:`coalesce_gap`
+        bytes of each other, and no longer than the storage's max
+        ranged-get size — issues one ``pread`` per run, slices the
+        bytes back out per chunk, and finally waits on any keys other
+        threads had in flight. Exactly one backend fetch happens per
+        chunk process-wide, however many scans want it concurrently.
+        """
+        cache = self.chunk_cache
+        results: dict[tuple[int, int], bytes] = {}
+        mine: list[tuple[int, int]] = []
+        waits: list[tuple[tuple[int, int], object]] = []
+        for key in dict.fromkeys(keys):
+            kind, val = cache.claim(self._cache_key(*key))
+            if kind == "hit":
+                results[key] = val
+            elif kind == "mine":
+                mine.append(key)
+            else:
+                waits.append((key, val))
+        if mine:
+            try:
+                self._fetch_claimed(mine, results)
+            except BaseException as exc:
+                for key in mine:
+                    if key not in results:
+                        cache.abandon(self._cache_key(*key), exc)
+                raise
+        for key, flight in waits:
+            flight.event.wait()
+            if flight.error is None:
+                results[key] = flight.value
+            else:
+                # the leader failed; retry this key (possibly as leader)
+                results[key] = self._fetch_chunk(*key)
+        return results
+
+    def _fetch_claimed(
+        self,
+        mine: list[tuple[int, int]],
+        results: dict[tuple[int, int], bytes],
+    ) -> None:
+        """Plan and issue coalesced reads for claimed (miss) keys."""
+        footer = self.footer
+        cache = self.chunk_cache
+        extents = sorted(
+            (footer.chunk(c, g).offset, footer.chunk(c, g).size, (c, g))
+            for c, g in mine
+        )
+        max_run = _MAX_RUN_BYTES
+        storage_cap = getattr(self._storage, "max_request_bytes", None)
+        if storage_cap:
+            max_run = min(max_run, storage_cap)
+        gap = self.coalesce_gap
+        runs: list[list[tuple[int, int, tuple[int, int]]]] = []
+        run_start = run_end = None
+        for ext in extents:
+            off, size, _key = ext
+            if (
+                run_start is not None
+                and off - run_end <= gap
+                and max(run_end, off + size) - run_start <= max_run
+            ):
+                runs[-1].append(ext)
+                run_end = max(run_end, off + size)
+            else:
+                runs.append([ext])
+                run_start, run_end = off, off + size
+        for run in runs:
+            if len(run) == 1:
+                _off, _size, key = run[0]
+                raw = self._pread_chunk(*key)
+                results[key] = raw
+                cache.fulfill(self._cache_key(*key), raw)
+                continue
+            start = run[0][0]
+            end = max(off + size for off, size, _key in run)
+            if obs_metrics.enabled():
+                with obs_trace.span(
+                    "scan.fetch_run", chunks=len(run), nbytes=end - start
+                ):
+                    t0 = time.perf_counter()
+                    blob = self._storage.pread(start, end - start)
+                    self._fetch_hist.observe(time.perf_counter() - t0)
+                SCAN_COALESCED_REQUESTS.inc()
+                SCAN_COALESCED_CHUNKS.inc(len(run))
+                SCAN_COALESCE_WASTE_BYTES.inc(
+                    (end - start) - sum(size for _o, size, _k in run)
+                )
+            else:
+                blob = self._storage.pread(start, end - start)
+            for off, size, key in run:
+                raw = blob[off - start : off - start + size]
+                results[key] = raw
+                cache.fulfill(self._cache_key(*key), raw)
 
     def _decode_chunk(self, raw: bytes, col_idx: int, rg: int):
         """Split a chunk's raw bytes into decoded per-page value runs."""

@@ -11,14 +11,22 @@ the :class:`Storage` protocol, with three backends:
 * :class:`FileStorage` — a real local file via ``os.pread``, for
   running against an actual filesystem,
 * :class:`LatencyModelledStorage` — wraps either backend and charges
-  (optionally sleeps) modelled device time per operation.
+  (optionally sleeps) modelled device time per operation,
+* :class:`ObjectStorage` — an S3-like modelled object store over any
+  inner backend where each ranged GET/PUT pays a fixed round trip, so
+  request *count* is the bottleneck the read path must engineer down.
 """
 
 from repro.iosim.blockdev import IOStats, SeekModel, SimulatedStorage
 from repro.iosim.storage import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    OBJECT_STORE_MODEL,
     FileStorage,
     InstrumentedStorage,
     LatencyModelledStorage,
+    ObjectRequest,
+    ObjectStorage,
+    ObjectStorageError,
     Storage,
 )
 
@@ -28,6 +36,11 @@ __all__ = [
     "FileStorage",
     "InstrumentedStorage",
     "LatencyModelledStorage",
+    "ObjectStorage",
+    "ObjectRequest",
+    "ObjectStorageError",
+    "OBJECT_STORE_MODEL",
+    "DEFAULT_MAX_REQUEST_BYTES",
     "IOStats",
     "SeekModel",
 ]

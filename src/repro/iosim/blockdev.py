@@ -24,10 +24,32 @@ from dataclasses import dataclass, field
 
 @dataclass
 class SeekModel:
-    """Cost model: elapsed = seeks * seek_latency + bytes / bandwidth."""
+    """Cost model: elapsed = seeks * seek_latency
+    + requests * request_latency + bytes / bandwidth.
+
+    ``request_latency_s`` is a fixed per-operation charge regardless of
+    contiguity — zero for local devices (the historical model, so every
+    existing benchmark number is unchanged) but the *dominant* term for
+    object stores, where each ranged GET pays a round trip no matter
+    how sequential the access pattern is.
+    """
 
     seek_latency_s: float = 1e-4  # 100 µs — datacenter NVMe-ish
     bandwidth_bytes_per_s: float = 2e9  # 2 GB/s sequential
+    request_latency_s: float = 0.0  # per-request fixed cost (RTT)
+
+    def request_cost(self, nbytes: int, seeked: bool = True) -> float:
+        """Modelled seconds for one request moving ``nbytes``.
+
+        The single charging formula shared by
+        :class:`~repro.iosim.LatencyModelledStorage` and
+        :class:`~repro.iosim.ObjectStorage` — the object store is this
+        model with ``request_latency_s`` dominating and seeks free.
+        """
+        cost = self.request_latency_s + nbytes / self.bandwidth_bytes_per_s
+        if seeked:
+            cost += self.seek_latency_s
+        return cost
 
 
 @dataclass
@@ -61,6 +83,7 @@ class IOStats:
         model = model or SeekModel()
         return (
             self.seeks * model.seek_latency_s
+            + (self.reads + self.writes) * model.request_latency_s
             + self.total_bytes / model.bandwidth_bytes_per_s
         )
 

@@ -23,6 +23,14 @@ Three interchangeable backends implement it:
                             histograms per backend kind into the
                             process-wide :mod:`repro.obs` metrics
                             registry
+``ObjectStorage``           an S3-like object store modelled in
+                            process over any inner backend: every
+                            operation is a *request* paying a fixed
+                            round-trip latency plus bytes/bandwidth,
+                            ranged GETs are capped at a configurable
+                            size, and each request is appended to a
+                            replayable log — the backend that makes
+                            request *count* the measurable bottleneck
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.iosim.blockdev import IOStats, SeekModel
 from repro.obs import metrics as obs_metrics
@@ -219,9 +228,9 @@ class LatencyModelledStorage:
 
     def _charge(self, cursor_attr: str, offset: int, nbytes: int) -> None:
         with self._lock:
-            cost = nbytes / self.model.bandwidth_bytes_per_s
-            if getattr(self, cursor_attr) != offset:
-                cost += self.model.seek_latency_s
+            cost = self.model.request_cost(
+                nbytes, seeked=getattr(self, cursor_attr) != offset
+            )
             setattr(self, cursor_attr, offset + nbytes)
             self.elapsed_s += cost
         if self.sleep:
@@ -243,6 +252,200 @@ class LatencyModelledStorage:
 
     def truncate(self, size: int) -> None:
         self.inner.truncate(size)
+
+    # pass through the test escape hatches when the backend has them
+    def raw_bytes(self) -> bytes:
+        return self.inner.raw_bytes()
+
+    def corrupt(self, offset: int, data: bytes) -> None:
+        self.inner.corrupt(offset, data)
+
+
+#: S3-in-the-same-region-ish defaults: ~25 ms to first byte per
+#: request, ~100 MB/s per stream, no seek penalty (objects have no
+#: heads to move) — the regime where request count dominates cost.
+OBJECT_STORE_MODEL = SeekModel(
+    seek_latency_s=0.0,
+    bandwidth_bytes_per_s=100e6,
+    request_latency_s=0.025,
+)
+
+#: S3's practical sweet spot for ranged GETs (8–16 MiB parts).
+DEFAULT_MAX_REQUEST_BYTES = 8 << 20
+
+
+@dataclass(frozen=True)
+class ObjectRequest:
+    """One logged object-store request (the replayable access trace)."""
+
+    op: str  # "GET" | "PUT"
+    offset: int
+    nbytes: int
+    cost_s: float
+
+
+class ObjectStorageError(OSError):
+    """An injected per-request fault from :class:`ObjectStorage`."""
+
+
+class ObjectStorage:
+    """An S3-like object store modelled in process over any backend.
+
+    The cost model is :class:`SeekModel.request_cost` with a dominant
+    ``request_latency_s`` term and zero seek penalty: **every request
+    pays a fixed round trip**, so the measurable bottleneck of a read
+    path is how *many* ``pread``\\ s it issues, not how many bytes they
+    move — exactly the regime the ranged-get coalescing planner and
+    the tiered chunk cache are built to win in.
+
+    * ``max_request_bytes`` caps one ranged GET; longer preads are
+      split into several requests, each paying the fixed latency (the
+      reader's coalescing planner reads this attribute and never plans
+      a run it would split).
+    * ``jitter_fn`` (→ extra seconds) and ``fault_fn`` (may raise) are
+      invoked per request, for robustness experiments: injected
+      failures surface as :class:`ObjectStorageError` before any byte
+      moves.
+    * Every request lands in :attr:`requests` — the replayable log the
+      ``repro-inspect scan --backend object`` subcommand prints — and,
+      when instrumentation is on, in the ``objectstore_*`` metric
+      families. Modelled time accumulates in :attr:`elapsed_s`
+      (optionally slept out with ``sleep=True``).
+    """
+
+    def __init__(
+        self,
+        inner: Storage,
+        model: SeekModel | None = None,
+        *,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        jitter_fn: Callable[[str, int, int], float] | None = None,
+        fault_fn: Callable[[str, int, int], None] | None = None,
+        sleep: bool = False,
+    ) -> None:
+        from repro.obs import families as _fam
+
+        if max_request_bytes <= 0:
+            raise ValueError("max_request_bytes must be positive")
+        self.inner = inner
+        self.model = model or OBJECT_STORE_MODEL
+        self.max_request_bytes = max_request_bytes
+        self.jitter_fn = jitter_fn
+        self.fault_fn = fault_fn
+        self.sleep = sleep
+        self.elapsed_s = 0.0
+        self.requests: list[ObjectRequest] = []
+        self._lock = threading.Lock()
+        self._get_ops = _fam.OBJECT_REQUESTS.labels(op="get")
+        self._put_ops = _fam.OBJECT_REQUESTS.labels(op="put")
+        self._get_bytes = _fam.OBJECT_REQUEST_BYTES.labels(op="get")
+        self._put_bytes = _fam.OBJECT_REQUEST_BYTES.labels(op="put")
+        self._get_secs = _fam.OBJECT_REQUEST_SECONDS.labels(op="get")
+        self._put_secs = _fam.OBJECT_REQUEST_SECONDS.labels(op="put")
+
+    # -- passthrough geometry -----------------------------------------
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def stats(self) -> IOStats:
+        return self.inner.stats
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def __len__(self) -> int:
+        return self.inner.size
+
+    def truncate(self, size: int) -> None:
+        self.inner.truncate(size)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def request_count(self) -> int:
+        with self._lock:
+            return len(self.requests)
+
+    def bytes_moved(self, op: str | None = None) -> int:
+        with self._lock:
+            return sum(
+                r.nbytes for r in self.requests if op is None or r.op == op
+            )
+
+    def reset_accounting(self) -> None:
+        with self._lock:
+            self.requests = []
+            self.elapsed_s = 0.0
+
+    def _request(self, op: str, offset: int, nbytes: int) -> None:
+        """Charge (and log) one request; may raise an injected fault."""
+        if self.fault_fn is not None:
+            self.fault_fn(op, offset, nbytes)
+        cost = self.model.request_cost(nbytes, seeked=False)
+        if self.jitter_fn is not None:
+            cost += max(0.0, self.jitter_fn(op, offset, nbytes))
+        with self._lock:
+            self.elapsed_s += cost
+            self.requests.append(ObjectRequest(op, offset, nbytes, cost))
+        if obs_metrics.enabled():
+            if op == "GET":
+                self._get_ops.inc()
+                self._get_bytes.inc(nbytes)
+                self._get_secs.observe(cost)
+            else:
+                self._put_ops.inc()
+                self._put_bytes.inc(nbytes)
+                self._put_secs.observe(cost)
+        if self.sleep:
+            time.sleep(cost)
+
+    # -- I/O ------------------------------------------------------------
+    def pread(self, offset: int, length: int) -> bytes:
+        """One or more ranged GETs covering ``[offset, offset+length)``.
+
+        Ranges longer than ``max_request_bytes`` split into several
+        requests, each paying the fixed per-request latency — which is
+        why the coalescing planner caps its runs at this size.
+        """
+        if length <= self.max_request_bytes:
+            self._request("GET", offset, length)
+            return self.inner.pread(offset, length)
+        parts = []
+        pos = offset
+        end = offset + length
+        while pos < end:
+            n = min(self.max_request_bytes, end - pos)
+            self._request("GET", pos, n)
+            parts.append(self.inner.pread(pos, n))
+            pos += n
+        return b"".join(parts)
+
+    def pwrite(self, offset: int, data: bytes) -> None:
+        self._request("PUT", offset, len(data))
+        self.inner.pwrite(offset, data)
+
+    def append(self, data: bytes) -> int:
+        self._request("PUT", self.inner.size, len(data))
+        return self.inner.append(data)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        inner_close = getattr(self.inner, "close", None)
+        if inner_close is not None:
+            inner_close()
+
+    def sync(self) -> None:
+        inner_sync = getattr(self.inner, "sync", None)
+        if inner_sync is not None:
+            inner_sync()
+
+    def __enter__(self) -> "ObjectStorage":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # pass through the test escape hatches when the backend has them
     def raw_bytes(self) -> bytes:

@@ -151,6 +151,74 @@ STORAGE_IO_SIZE_BYTES = _REG.histogram(
     buckets=_m.SIZE_BUCKETS,
 )
 
+# --- Object store (ObjectStorage backend) -------------------------------
+OBJECT_REQUESTS = _REG.counter(
+    "objectstore_requests_total",
+    "Ranged GET / PUT requests issued to the modelled object store",
+    labels=("op",),
+)
+OBJECT_REQUEST_BYTES = _REG.counter(
+    "objectstore_request_bytes_total",
+    "Bytes moved by object-store requests",
+    labels=("op",),
+)
+OBJECT_REQUEST_SECONDS = _REG.histogram(
+    "objectstore_request_seconds",
+    "Modelled per-request cost (fixed latency + bandwidth + jitter)",
+    labels=("op",),
+)
+
+# --- Coalescing fetch planner -------------------------------------------
+SCAN_COALESCED_REQUESTS = _REG.counter(
+    "scan_coalesced_requests_total",
+    "Ranged reads issued by the chunk-fetch coalescing planner",
+)
+SCAN_COALESCED_CHUNKS = _REG.counter(
+    "scan_coalesced_chunks_total",
+    "Chunks served out of coalesced ranged reads",
+)
+SCAN_COALESCE_WASTE_BYTES = _REG.counter(
+    "scan_coalesce_waste_bytes_total",
+    "Gap bytes fetched by coalescing and discarded after slicing",
+)
+
+# --- Tiered chunk cache (repro.core.chunk_cache) ------------------------
+CACHE_TIER_HITS = _REG.counter(
+    "cache_tier_hits_total",
+    "TieredChunkCache lookups served per tier",
+    labels=("tier",),
+)
+CACHE_TIER_MISSES = _REG.counter(
+    "cache_tier_misses_total",
+    "TieredChunkCache lookups that fell through to the backend",
+)
+CACHE_TIER_EVICTIONS = _REG.counter(
+    "cache_tier_evictions_total",
+    "TieredChunkCache LRU evictions per tier",
+    labels=("tier",),
+)
+CACHE_SPILLS = _REG.counter(
+    "cache_spills_total",
+    "Memory-tier entries spilled to the disk tier",
+)
+CACHE_SPILL_BYTES = _REG.counter(
+    "cache_spill_bytes_total",
+    "Bytes spilled from the memory tier to the disk tier",
+)
+CACHE_SINGLEFLIGHT_WAITS = _REG.counter(
+    "cache_singleflight_waits_total",
+    "Lookups that blocked on another thread's in-flight fetch",
+)
+CACHE_CHECKSUM_FAILURES = _REG.counter(
+    "cache_checksum_failures_total",
+    "Disk-tier entries rejected (truncated or corrupt spill file)",
+)
+CACHE_TIER_BYTES = _REG.gauge(
+    "cache_tier_bytes",
+    "Bytes currently resident per cache tier",
+    labels=("cache", "tier"),
+)
+
 # --- Writer timings -----------------------------------------------------
 WRITER_FLUSH_SECONDS = _REG.histogram(
     "writer_flush_seconds", "Row-group flush latency (encode + append)"
@@ -234,4 +302,5 @@ def backend_label(storage) -> str:
         "FileStorage": "file",
         "SimulatedStorage": "memory",
         "LatencyModelledStorage": "latency",
+        "ObjectStorage": "object",
     }.get(cls, cls.lower().removesuffix("storage") or "unknown")

@@ -11,6 +11,9 @@ via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
 
     repro-inspect FILE [--max-columns N] [--no-verify]
     repro-inspect scan FILE --where EXPR [--columns A,B,...]
+    repro-inspect scan FILE --backend object [--gap BYTES]
+                 [--no-coalesce] [--where EXPR] [--columns A,B,...]
+    repro-inspect cache
     repro-inspect query DIR --agg SPECS [--where EXPR]
                  [--group-by A,B,...] [--snapshot ID] [--no-metadata]
     repro-inspect catalog log DIR
@@ -39,7 +42,18 @@ which touches every page of large files.
 layer skipped: row groups pruned from footer zone maps, rows filtered
 at decode time, residual chunks never fetched (late materialization).
 ``EXPR`` uses the :mod:`repro.expr.parse` syntax, e.g.
-``"price > 100 and region in (3, 5)"``.
+``"price > 100 and region in (3, 5)"``. With ``--backend object`` the
+same file is replayed through the modelled
+:class:`~repro.iosim.ObjectStorage` instead and the per-request GET/PUT
+log is printed — request count, bytes moved and modelled wall-clock —
+so the effect of the coalescing planner is directly visible.
+``--gap BYTES`` sets the coalescing gap threshold; ``--no-coalesce``
+disables merging entirely (one GET per chunk) for comparison.
+
+``cache`` prints the process-wide tiered chunk cache
+(:func:`repro.core.chunk_cache.process_cache`): per-tier occupancy
+against budget, hit/miss/spill counters, single-flight waits and disk
+checksum failures.
 
 ``query`` runs an aggregation (``repro.query``) over a catalog table
 directory: ``--agg "count, sum(clicks), min(price)"`` with optional
@@ -54,7 +68,8 @@ snapshot's manifest (files, stats, summary), and ``files`` lists the
 data files a snapshot references — plus any orphans awaiting GC when
 run against HEAD, and with ``--where`` a kept/pruned verdict per file
 from the manifest column statistics alone (no file opens). (The
-literal words ``catalog``/``scan``/``query`` select subcommand mode;
+literal subcommand words like ``catalog``/``scan``/``cache`` select
+subcommand mode;
 a Bullion file with one of those names is still inspectable as
 ``./scan``.)
 
@@ -293,22 +308,89 @@ def describe_scan(
     return "\n".join(lines)
 
 
+def describe_object_replay(
+    storage,
+    columns: list[str] | None = None,
+    where=None,
+    coalesce_gap: int = 0,
+    max_requests: int = 100,
+) -> str:
+    """Replay a scan through a modelled object store, log every request.
+
+    ``storage`` is an :class:`~repro.iosim.ObjectStorage`. The reader
+    runs cacheless so the request log is exactly what the coalescing
+    planner asked the backend for — the knob being tuned.
+    """
+    reader = BullionReader(
+        storage, chunk_cache_size=0, coalesce_gap=coalesce_gap
+    )
+    if columns is None:
+        columns = reader.column_names()
+    matched = sum(
+        batch.num_rows for batch in reader.scan(columns, where=where)
+    )
+    gets = [r for r in storage.requests if r.op == "GET"]
+    puts = [r for r in storage.requests if r.op == "PUT"]
+    mode = "off" if coalesce_gap < 0 else f"gap={coalesce_gap}"
+    lines = [
+        f"object-store replay of {storage.name}: "
+        f"{len(columns)} columns, {matched:,} rows, coalescing {mode}",
+        f"requests: {len(storage.requests)} "
+        f"({len(gets)} GET, {len(puts)} PUT), "
+        f"{storage.bytes_moved():,} bytes moved, "
+        f"modelled time {storage.elapsed_s * 1e3:.2f} ms",
+        "",
+        f"{'#':>4} {'op':4} {'offset':>12} {'bytes':>10} {'cost':>10}",
+    ]
+    for i, r in enumerate(storage.requests[:max_requests]):
+        lines.append(
+            f"{i:>4} {r.op:4} {r.offset:>12,} {r.nbytes:>10,} "
+            f"{r.cost_s * 1e3:>8.2f}ms"
+        )
+    if len(storage.requests) > max_requests:
+        lines.append(
+            f"... and {len(storage.requests) - max_requests} more requests"
+        )
+    return "\n".join(lines)
+
+
 def _scan_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
     sub = argparse.ArgumentParser(
         prog="repro-inspect scan",
-        description="Report per-layer pushdown skipping for a filter.",
+        description="Report per-layer pushdown skipping for a filter, "
+        "or (--backend object) replay the scan against a modelled "
+        "object store and print its request log.",
     )
     sub.add_argument("file", help="path to a Bullion file")
     sub.add_argument(
-        "--where", required=True, metavar="EXPR",
+        "--where", default=None, metavar="EXPR",
         help="filter expression, e.g. \"price > 100 and region in (3, 5)\"",
     )
     sub.add_argument(
         "--columns", default=None, metavar="A,B,...",
         help="projection (default: every column)",
     )
+    sub.add_argument(
+        "--backend", choices=("file", "object"), default="file",
+        help="file (default): pushdown report; object: request-log replay",
+    )
+    sub.add_argument(
+        "--gap", type=int, default=0, metavar="BYTES",
+        help="coalescing gap threshold for --backend object (default: 0, "
+        "merge only adjacent chunks)",
+    )
+    sub.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable ranged-get coalescing: one GET per chunk",
+    )
     args = sub.parse_args(argv)
-    where = _parse_where_arg(parser, args.where)
+    if args.backend == "file" and args.where is None:
+        sub.error("--where is required unless --backend object")
+    where = (
+        _parse_where_arg(parser, args.where)
+        if args.where is not None
+        else None
+    )
     columns = (
         [c.strip() for c in args.columns.split(",") if c.strip()]
         if args.columns is not None
@@ -317,7 +399,69 @@ def _scan_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
 
     def run() -> None:
         with FileStorage(args.file, readonly=True) as storage:
-            print(describe_scan(storage, where, columns))
+            if args.backend == "object":
+                from repro.iosim import ObjectStorage
+
+                gap = -1 if args.no_coalesce else args.gap
+                obj = ObjectStorage(storage)
+                print(
+                    describe_object_replay(
+                        obj, columns, where, coalesce_gap=gap
+                    )
+                )
+            else:
+                print(describe_scan(storage, where, columns))
+
+    return _run_guarded(parser, run)
+
+
+# ---------------------------------------------------------------------------
+# cache subcommand (the process-wide tiered chunk cache)
+# ---------------------------------------------------------------------------
+
+def describe_cache(cache) -> str:
+    """Tier occupancy and counters of a ``TieredChunkCache``."""
+    sizes = cache.tier_sizes()
+    s = cache.stats
+    lookups = s.hits + s.misses
+    rate = f"{100.0 * s.hits / lookups:.1f}%" if lookups else "n/a"
+    lines = [
+        f"tiered chunk cache {cache.name!r}:",
+        f"{'tier':8s} {'entries':>8} {'bytes':>14} {'budget':>14}",
+    ]
+    for tier in ("memory", "disk"):
+        t = sizes[tier]
+        budget = (
+            f"{t['budget_bytes']:,}" if t["budget_bytes"] else "disabled"
+        )
+        lines.append(
+            f"{tier:8s} {t['entries']:>8,} {t['bytes']:>14,} {budget:>14}"
+        )
+    lines += [
+        "",
+        f"lookups: {lookups:,} — {s.memory_hits:,} memory hits, "
+        f"{s.disk_hits:,} disk hits, {s.misses:,} misses "
+        f"(hit rate {rate})",
+        f"spills: {s.spills:,} ({s.spill_bytes:,} bytes); evictions: "
+        f"{s.memory_evictions:,} memory, {s.disk_evictions:,} disk",
+        f"single-flight waits: {s.singleflight_waits:,}; "
+        f"disk checksum failures: {s.checksum_failures:,}",
+    ]
+    return "\n".join(lines)
+
+
+def _cache_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    from repro.core.chunk_cache import process_cache
+
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect cache",
+        description="Show the process-wide tiered chunk cache: tier "
+        "occupancy, hit/miss/spill counters, single-flight waits.",
+    )
+    sub.parse_args(argv)
+
+    def run() -> None:
+        print(describe_cache(process_cache()))
 
     return _run_guarded(parser, run)
 
@@ -802,6 +946,8 @@ def main(argv: list[str] | None = None) -> int:
         status = _metrics_main(parser, raw[1:])
     elif raw[:1] == ["trace"]:
         status = _trace_main(parser, raw[1:])
+    elif raw[:1] == ["cache"]:
+        status = _cache_main(parser, raw[1:])
     if status is not None:
         if dump_metrics:
             from repro.obs.metrics import default_registry

@@ -1,0 +1,343 @@
+"""TieredChunkCache: byte budgets, disk spill, crash consistency,
+single-flight, and fingerprint-keyed sharing across readers.
+
+The disk tier's failure contract is the load-bearing part: a spill
+file that was truncated, corrupted, or clobbered must surface as a
+*miss* (refetch from the backend) — never as bad bytes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BullionReader,
+    BullionWriter,
+    Table,
+    TieredChunkCache,
+    WriterOptions,
+    delete_rows,
+    notify_mutation,
+    storage_identity,
+)
+from repro.core.chunk_cache import configure_process_cache
+from repro.core.reader import ChunkCache
+from repro.iosim import FileStorage, SimulatedStorage
+
+
+def _cache(tmp_path=None, memory_bytes=1 << 20, disk_bytes=0, **kw):
+    return TieredChunkCache(
+        memory_bytes,
+        disk_bytes=disk_bytes,
+        disk_dir=str(tmp_path / "spill") if tmp_path else None,
+        mirror=False,
+        **kw,
+    )
+
+
+class TestMemoryTier:
+    def test_byte_budget_evicts_lru(self):
+        cache = _cache(memory_bytes=100)
+        cache.put(("a",), b"x" * 40)
+        cache.put(("b",), b"y" * 40)
+        cache.get(("a",))  # a is now most-recent
+        cache.put(("c",), b"z" * 40)  # 120 bytes: evict LRU = b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == b"x" * 40
+        assert cache.get(("c",)) == b"z" * 40
+        assert cache.memory_used == 80
+        assert cache.stats.memory_evictions == 1
+
+    def test_oversized_entry_does_not_wedge(self):
+        cache = _cache(memory_bytes=10)
+        cache.put(("big",), b"x" * 100)
+        assert cache.memory_used == 0  # immediately evicted
+        assert cache.get(("big",)) is None
+
+    def test_replacement_does_not_leak_budget(self):
+        cache = _cache(memory_bytes=100)
+        for _ in range(10):
+            cache.put(("k",), b"a" * 60)
+        assert cache.memory_used == 60
+        assert len(cache) == 1
+
+    def test_entry_cap_matches_legacy_contract(self):
+        cache = _cache(max_entries=2)
+        cache.put((0, 0), b"a")
+        cache.put((0, 1), b"b")
+        cache.put((0, 2), b"c")
+        assert cache.get((0, 0)) is None
+        assert cache.get((0, 2)) == b"c"
+        assert len(cache) == 2
+
+
+class TestLegacyShim:
+    def test_byte_budget_on_the_legacy_cache(self):
+        # the satellite fix: ChunkCache now budgets bytes, not entries
+        cache = ChunkCache(capacity=32, capacity_bytes=100)
+        cache.put((0, 0), b"x" * 60)
+        cache.put((0, 1), b"y" * 60)  # 120 bytes: evicts (0, 0)
+        assert cache.get((0, 0)) is None
+        assert cache.get((0, 1)) == b"y" * 60
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables(self):
+        cache = ChunkCache(capacity=0)
+        cache.put((0, 0), b"x")
+        assert cache.get((0, 0)) is None
+        assert len(cache) == 0
+        assert cache.misses == 1  # the put was a no-op
+
+
+class TestDiskSpill:
+    def test_eviction_spills_and_disk_hit_promotes(self, tmp_path):
+        cache = _cache(tmp_path, memory_bytes=100, disk_bytes=1 << 20)
+        cache.put(("a",), b"x" * 80)
+        cache.put(("b",), b"y" * 80)  # evicts a -> spills to disk
+        assert cache.stats.spills == 1
+        assert cache.disk_used == 80
+        assert cache.get(("a",)) == b"x" * 80  # disk hit
+        assert cache.stats.disk_hits == 1
+        # promoted back to memory: a second get is a memory hit
+        assert cache.get(("a",)) == b"x" * 80
+        assert cache.stats.memory_hits >= 1
+
+    def test_disk_budget_bounded(self, tmp_path):
+        cache = _cache(tmp_path, memory_bytes=50, disk_bytes=100)
+        for i in range(5):
+            cache.put((i,), bytes([i]) * 40)
+        assert cache.disk_used <= 100
+        assert cache.stats.disk_evictions > 0
+
+    def test_clear_removes_spill_files(self, tmp_path):
+        cache = _cache(tmp_path, memory_bytes=10, disk_bytes=1 << 20)
+        cache.put(("a",), b"x" * 50)
+        spill_dir = tmp_path / "spill"
+        assert list(spill_dir.iterdir())
+        cache.clear()
+        assert not list(spill_dir.iterdir())
+        assert cache.disk_used == 0
+
+
+class TestDiskCrashConsistency:
+    """Truncated/corrupt spill files -> miss + refetch, never bad bytes."""
+
+    def _spilled(self, tmp_path):
+        cache = _cache(tmp_path, memory_bytes=10, disk_bytes=1 << 20)
+        cache.put(("k", 1), b"payload-bytes" * 10)
+        (spill_file,) = (tmp_path / "spill").iterdir()
+        return cache, spill_file
+
+    def test_truncated_spill_is_a_miss(self, tmp_path):
+        cache, spill_file = self._spilled(tmp_path)
+        spill_file.write_bytes(spill_file.read_bytes()[:20])
+        assert cache.get(("k", 1)) is None
+        assert cache.stats.checksum_failures == 1
+        assert not spill_file.exists()  # the bad entry was dropped
+        assert cache.disk_used == 0
+
+    def test_corrupted_spill_is_a_miss(self, tmp_path):
+        cache, spill_file = self._spilled(tmp_path)
+        blob = bytearray(spill_file.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload bit
+        spill_file.write_bytes(bytes(blob))
+        assert cache.get(("k", 1)) is None
+        assert cache.stats.checksum_failures == 1
+
+    def test_deleted_spill_is_a_miss(self, tmp_path):
+        cache, spill_file = self._spilled(tmp_path)
+        spill_file.unlink()
+        assert cache.get(("k", 1)) is None
+        assert cache.stats.checksum_failures == 1
+
+    def test_corrupt_spill_refetches_good_bytes_end_to_end(self, tmp_path):
+        """A reader over a corrupted disk tier silently refetches from
+        the backend and the scan still verifies against the file's own
+        page checksums."""
+        dev = SimulatedStorage()
+        table = Table({"x": np.arange(400, dtype=np.int64)})
+        BullionWriter(
+            dev, options=WriterOptions(rows_per_page=100, rows_per_group=200)
+        ).write(table)
+        cache = TieredChunkCache(
+            1,  # every entry immediately spills
+            disk_bytes=1 << 20,
+            disk_dir=str(tmp_path / "spill"),
+            mirror=False,
+        )
+        reader = BullionReader(dev, chunk_cache=cache)
+        assert np.array_equal(
+            reader.scan(["x"], max_workers=0).to_table().column("x"),
+            table.column("x"),
+        )
+        # smash every spill file, then re-scan through the same cache
+        for f in (tmp_path / "spill").iterdir():
+            f.write_bytes(b"garbage")
+        out = reader.scan(["x"], max_workers=0).to_table()
+        assert np.array_equal(out.column("x"), table.column("x"))
+        assert cache.stats.checksum_failures > 0
+        assert reader.verify()
+
+
+class TestSingleFlight:
+    def test_concurrent_fetchers_coalesce_to_one(self):
+        cache = _cache()
+        n_threads = 8
+        fetches = []
+        barrier = threading.Barrier(n_threads)
+        results = []
+
+        def fetch():
+            fetches.append(1)
+            return b"the-bytes"
+
+        def worker():
+            barrier.wait()
+            results.append(cache.get_or_fetch(("hot",), fetch))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fetches) == 1
+        assert results == [b"the-bytes"] * n_threads
+        assert cache.stats.misses == 1
+        assert (
+            cache.stats.hits + cache.stats.singleflight_waits == n_threads - 1
+        )
+
+    def test_leader_failure_promotes_a_waiter(self):
+        cache = _cache()
+        release = threading.Event()
+        attempts = []
+
+        def failing_fetch():
+            attempts.append("leader")
+            release.wait(5)
+            raise OSError("backend 500")
+
+        def good_fetch():
+            attempts.append("waiter")
+            return b"recovered"
+
+        leader_err = []
+
+        def leader():
+            try:
+                cache.get_or_fetch(("k",), failing_fetch)
+            except OSError as exc:
+                leader_err.append(exc)
+
+        t1 = threading.Thread(target=leader)
+        t1.start()
+        while not attempts:  # leader holds the flight
+            pass
+        got = []
+        t2 = threading.Thread(
+            target=lambda: got.append(cache.get_or_fetch(("k",), good_fetch))
+        )
+        t2.start()
+        release.set()
+        t1.join()
+        t2.join()
+        assert leader_err  # the leader saw its own error
+        assert got == [b"recovered"]  # the waiter retried and won
+        assert attempts == ["leader", "waiter"]
+
+    def test_claim_fulfill_contract(self):
+        cache = _cache()
+        kind, _ = cache.claim(("k",))
+        assert kind == "mine"
+        kind2, flight = cache.claim(("k",))
+        assert kind2 == "wait"
+        cache.fulfill(("k",), b"v")
+        assert flight.value == b"v" and flight.event.is_set()
+        assert cache.claim(("k",)) == ("hit", b"v")
+
+
+class TestSharingAndInvalidation:
+    def _write(self, dev, n=400):
+        BullionWriter(
+            dev, options=WriterOptions(rows_per_page=100, rows_per_group=200)
+        ).write(Table({"x": np.arange(n, dtype=np.int64)}))
+
+    def test_second_reader_hits_first_readers_entries(self):
+        dev = SimulatedStorage()
+        self._write(dev)
+        cache = _cache()
+        r1 = BullionReader(dev, chunk_cache=cache)
+        r1.scan(["x"], max_workers=0).to_table()
+        reads_before = dev.stats.reads
+        r2 = BullionReader(dev, chunk_cache=cache)  # fresh reader, same file
+        out = r2.scan(["x"], max_workers=0).to_table()
+        # only the footer open hit the device; all chunks came shared
+        assert dev.stats.reads == reads_before + 1
+        assert np.array_equal(out.column("x"), np.arange(400))
+
+    def test_fingerprint_isolates_mutated_file(self):
+        """In-place deletion changes the footer fingerprint, so a new
+        reader over the mutated file can never be served the old
+        chunks — without any explicit invalidation."""
+        dev = SimulatedStorage()
+        self._write(dev)
+        cache = _cache()
+        r1 = BullionReader(dev, chunk_cache=cache)
+        before = r1.scan(["x"], max_workers=0).to_table()
+        assert before.num_rows == 400
+        delete_rows(dev, range(100))
+        r2 = BullionReader(dev, chunk_cache=cache)
+        assert r2.fingerprint != r1.fingerprint
+        after = r2.scan(["x"], max_workers=0).to_table()
+        assert after.num_rows == 300
+        assert after.column("x").min() == 100
+
+    def test_invalidate_prefix_scopes_to_one_storage(self):
+        cache = _cache()
+        cache.put(("dev-a", 1, 0, 0), b"a")
+        cache.put(("dev-b", 1, 0, 0), b"b")
+        dropped = cache.invalidate_prefix(("dev-a",))
+        assert dropped == 1
+        assert cache.get(("dev-a", 1, 0, 0)) is None
+        assert cache.get(("dev-b", 1, 0, 0)) == b"b"
+
+    def test_notify_mutation_clears_process_cache(self, tmp_path):
+        dev = SimulatedStorage()
+        self._write(dev)
+        cache = configure_process_cache(1 << 20)
+        try:
+            reader = BullionReader(dev, chunk_cache=cache)
+            reader.scan(["x"], max_workers=0).to_table()
+            assert len(cache) > 0
+            notify_mutation(dev)
+            assert len(cache) == 0
+        finally:
+            configure_process_cache()  # reset to defaults for other tests
+
+    def test_storage_identity_file_vs_memory(self, tmp_path):
+        path = tmp_path / "t.bln"
+        fs1 = FileStorage(str(path))
+        fs2 = FileStorage(str(path))
+        try:
+            assert storage_identity(fs1) == storage_identity(fs2)
+        finally:
+            fs1.close()
+            fs2.close()
+        m1, m2 = SimulatedStorage(), SimulatedStorage()
+        assert storage_identity(m1) != storage_identity(m2)
+        assert storage_identity(m1) == storage_identity(m1)
+
+    def test_reader_invalidate_cache_on_shared_cache(self):
+        dev = SimulatedStorage()
+        self._write(dev)
+        cache = _cache()
+        reader = BullionReader(dev, chunk_cache=cache)
+        reader.scan(["x"], max_workers=0).to_table()
+        assert len(cache) > 0
+        reader.invalidate_cache()
+        assert len(cache) == 0
+
+    def test_rejects_disk_budget_without_dir(self):
+        with pytest.raises(ValueError):
+            TieredChunkCache(1 << 20, disk_bytes=1 << 20)

@@ -285,3 +285,58 @@ class TestCatalogSchemaRendering:
         rows = [line for line in out.splitlines() if line.startswith("f-")]
         verdicts = {line.split()[-2]: line.split()[-1] for line in rows}
         assert verdicts == {"s0": "PRUNED", "s1": "scan"}
+
+
+class TestObjectReplayAndCache:
+    def _request_count(self, out):
+        (line,) = [
+            ln for ln in out.splitlines() if ln.startswith("requests:")
+        ]
+        return int(line.split()[1])
+
+    def test_object_replay_prints_request_log(self, bullion_file, capsys):
+        code, out, _err = _run(
+            ["scan", bullion_file, "--backend", "object"], capsys
+        )
+        assert code == 0
+        assert "object-store replay" in out
+        assert "coalescing gap=0" in out
+        assert "GET" in out and "modelled time" in out
+        # a request table row: index, op, offset, bytes, cost
+        rows = [ln for ln in out.splitlines() if " GET " in ln]
+        assert rows and all("ms" in r for r in rows)
+
+    def test_no_coalesce_issues_more_requests(self, bullion_file, capsys):
+        code, out, _err = _run(
+            ["scan", bullion_file, "--backend", "object"], capsys
+        )
+        assert code == 0
+        coalesced = self._request_count(out)
+        code, out, _err = _run(
+            ["scan", bullion_file, "--backend", "object", "--no-coalesce"],
+            capsys,
+        )
+        assert code == 0
+        assert "coalescing off" in out
+        assert self._request_count(out) > coalesced
+
+    def test_object_replay_accepts_where(self, bullion_file, capsys):
+        code, out, _err = _run(
+            ["scan", bullion_file, "--backend", "object",
+             "--where", "ts > 49", "--columns", "v"],
+            capsys,
+        )
+        assert code == 0
+        assert "50 rows" in out
+
+    def test_file_backend_still_requires_where(self, bullion_file, capsys):
+        code, _out, err = _run(["scan", bullion_file], capsys)
+        assert code == 2
+        assert "--where is required" in err
+
+    def test_cache_subcommand_renders_tiers(self, capsys):
+        code, out, _err = _run(["cache"], capsys)
+        assert code == 0
+        assert "tiered chunk cache 'process'" in out
+        assert "memory" in out and "disk" in out
+        assert "single-flight waits" in out

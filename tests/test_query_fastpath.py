@@ -120,9 +120,10 @@ class TestFooterOnlyPath:
         assert res.stats.files_footer_answered == 1  # file 2: zone maps
         assert res.stats.files_pruned == 2
         assert res.stats.data_chunks_fetched == 0
-        # the opened file read only its footer: tail + footer preads
+        # the opened file read only its footer: one speculative tail
+        # pread covers the tail and the footer together
         assert len(store.opened) == 1
-        assert store.data_reads == 2
+        assert store.data_reads == 1
 
     def test_maybe_group_decodes_only_itself(self):
         """A predicate cutting inside one row group decodes exactly
