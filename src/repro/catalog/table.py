@@ -77,19 +77,35 @@ class PinnedSnapshot:
         self._resolved_cache: dict[str, ResolvedReader] = {}
         self._log: SchemaLog | None = None
         self._storages: list = []
+        #: readers borrowed from ``table.reader_provider`` rather than
+        #: opened by this pin — returned, not closed, on release
+        self._pooled: list[str] = []
+        self._provider = table.reader_provider
+        #: concurrent requests (the serving layer) may race to open a
+        #: reader; the lock makes "parse each footer once per pin" hold
+        #: under concurrency instead of best-effort
+        self._reader_lock = threading.RLock()
         self._released = False
 
     # -- lifecycle ------------------------------------------------------
     def release(self) -> None:
         if not self._released:
             self._released = True
-            self._reader_cache = {}
-            self._resolved_cache = {}
-            for storage in self._storages:
+            with self._reader_lock:
+                pooled = [
+                    (fid, self._reader_cache.get(fid))
+                    for fid in self._pooled
+                ]
+                self._pooled = []
+                self._reader_cache = {}
+                self._resolved_cache = {}
+                storages, self._storages = self._storages, []
+            for fid, reader in pooled:
+                self._provider.release(fid, reader)
+            for storage in storages:
                 close = getattr(storage, "close", None)
                 if close is not None:  # FileStorage holds an fd
                     close()
-            self._storages = []
             self._table._unpin(self.snapshot.snapshot_id)
 
     def __enter__(self) -> "PinnedSnapshot":
@@ -102,16 +118,23 @@ class PinnedSnapshot:
     def _reader_for(self, file_id: str) -> BullionReader:
         if self._released:
             raise RuntimeError("pinned snapshot already released")
-        reader = self._reader_cache.get(file_id)
-        if reader is None:
-            storage = self._table.store.open_data(file_id)
-            self._storages.append(storage)
-            reader = BullionReader(
-                storage,
-                chunk_cache=self._table.chunk_cache,
-                **self._table.reader_options,
-            )
-            self._reader_cache[file_id] = reader
+        with self._reader_lock:
+            reader = self._reader_cache.get(file_id)
+            if reader is None:
+                if self._provider is not None:
+                    # borrow from the shared pool: footers are parsed
+                    # once per *file*, not once per pin
+                    reader = self._provider.acquire(file_id)
+                    self._pooled.append(file_id)
+                else:
+                    storage = self._table.store.open_data(file_id)
+                    self._storages.append(storage)
+                    reader = BullionReader(
+                        storage,
+                        chunk_cache=self._table.chunk_cache,
+                        **self._table.reader_options,
+                    )
+                self._reader_cache[file_id] = reader
         return reader
 
     def schema_log(self) -> SchemaLog:
@@ -130,12 +153,13 @@ class PinnedSnapshot:
         resolution = self.schema_log().resolution(data_file)
         if resolution is None:
             return self._reader_for(data_file.file_id)
-        resolved = self._resolved_cache.get(data_file.file_id)
-        if resolved is None:
-            resolved = ResolvedReader(
-                self._reader_for(data_file.file_id), resolution
-            )
-            self._resolved_cache[data_file.file_id] = resolved
+        with self._reader_lock:
+            resolved = self._resolved_cache.get(data_file.file_id)
+            if resolved is None:
+                resolved = ResolvedReader(
+                    self._reader_for(data_file.file_id), resolution
+                )
+                self._resolved_cache[data_file.file_id] = resolved
         return resolved
 
     def readers(self) -> list[BullionReader]:
@@ -177,6 +201,22 @@ class PinnedSnapshot:
                     files_pruned=len(pruned),
                     rows_pruned=sum(f.row_count for f in pruned),
                 )
+        yield from self.scan_files(
+            files, columns, batch_size=batch_size, **scan_kwargs
+        )
+
+    def scan_files(
+        self, files, columns: list[str], batch_size=None, **scan_kwargs
+    ):
+        """Lazy batch stream over an explicit subset of the pin's files.
+
+        ``files`` must be :class:`DataFile` members of this snapshot in
+        snapshot order; batching and filtering are identical to
+        :meth:`scan`, which delegates here after manifest pruning. The
+        serving layer uses this to scan a cached pruned file set
+        without re-deriving it — byte-identical to the unpruned path
+        because the kept files and their order are the same.
+        """
         chunks = (
             batch
             for f in files
@@ -317,6 +357,12 @@ class CatalogTable:
         #: extra BullionReader kwargs (e.g. ``coalesce_gap``) applied
         #: to every reader opened through a pin
         self.reader_options = dict(reader_options or {})
+        #: optional shared reader source (``acquire(file_id)`` /
+        #: ``release(file_id, reader)``): when set, pins borrow readers
+        #: from it instead of opening storage themselves, so footers
+        #: are parsed once per file across every pin and epoch — the
+        #: serving layer's metadata cache (see repro.server.cache)
+        self.reader_provider = None
         self._clock = clock or (lambda: time.time_ns() // 1_000_000)
         self._lock = threading.Lock()
         self._snap_cache: dict[int, Snapshot] = {}

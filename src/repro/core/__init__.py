@@ -9,9 +9,11 @@ from repro.core.checksum import MerkleTree, full_file_checksum
 from repro.core.chunk_cache import (
     TieredChunkCache,
     TierStats,
+    add_mutation_listener,
     configure_process_cache,
     notify_mutation,
     process_cache,
+    remove_mutation_listener,
     storage_identity,
 )
 from repro.core.compact import CompactionReport, compact, merge
@@ -65,6 +67,8 @@ __all__ = [
     "TierStats",
     "configure_process_cache",
     "notify_mutation",
+    "add_mutation_listener",
+    "remove_mutation_listener",
     "process_cache",
     "storage_identity",
     "CompactionReport",

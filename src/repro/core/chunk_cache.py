@@ -53,6 +53,8 @@ __all__ = [
     "process_cache",
     "configure_process_cache",
     "notify_mutation",
+    "add_mutation_listener",
+    "remove_mutation_listener",
 ]
 
 #: Spill-file layout: magic, payload checksum, key length, key, payload.
@@ -477,14 +479,46 @@ def configure_process_cache(
         return _process_cache
 
 
+#: External caches (e.g. the serving layer's reader pool and result
+#: caches) that want to hear about in-place mutations alongside the
+#: process chunk cache.  Listeners receive the mutated storage object.
+_mutation_listeners: list = []
+
+
+def add_mutation_listener(fn) -> None:
+    """Register ``fn(storage)`` to run on every :func:`notify_mutation`.
+
+    Listeners must be fast and must not raise; they run inline on the
+    mutating thread (writer finish, deletion scrub).
+    """
+    with _process_lock:
+        if fn not in _mutation_listeners:
+            _mutation_listeners.append(fn)
+
+
+def remove_mutation_listener(fn) -> None:
+    with _process_lock:
+        try:
+            _mutation_listeners.remove(fn)
+        except ValueError:
+            pass
+
+
 def notify_mutation(storage) -> None:
     """Drop process-cache entries for a device that just changed.
 
     Called by the writer and the deletion path.  Cheap no-op unless a
     process cache exists; fingerprinted keys already guarantee stale
     entries can never be *served*, this merely frees their budget.
+    Registered mutation listeners (see :func:`add_mutation_listener`)
+    are invoked afterwards so higher-level caches — pooled readers,
+    plan/result caches in the serving layer — can drop exactly the
+    entries the mutated device backs.
     """
     with _process_lock:
         cache = _process_cache
+        listeners = list(_mutation_listeners)
     if cache is not None:
         cache.invalidate_prefix((storage_identity(storage),))
+    for fn in listeners:
+        fn(storage)

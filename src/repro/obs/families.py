@@ -284,6 +284,111 @@ MAINT_GC_REFUSALS = _REG.counter(
     labels=("reason",),
 )
 
+# --- Serving layer (repro.server) ---------------------------------------
+SERVER_REQUESTS = _REG.counter(
+    "server_requests_total",
+    "Requests received (wire frames and HTTP probes), by operation",
+    labels=("op",),
+)
+SERVER_RESPONSES = _REG.counter(
+    "server_responses_total",
+    "Requests finished, partitioned by outcome (ok/error/rejected/cancelled)",
+    labels=("outcome",),
+)
+SERVER_REQUEST_SECONDS = _REG.histogram(
+    "server_request_seconds",
+    "End-to-end request latency on the server (parse to last byte)",
+    labels=("op",),
+)
+SERVER_REJECTED = _REG.counter(
+    "server_requests_rejected_total",
+    "Requests refused by admission control, by reason",
+    labels=("reason",),
+)
+SERVER_ERRORS = _REG.counter(
+    "server_request_errors_total",
+    "Typed error responses sent, by error code",
+    labels=("code",),
+)
+SERVER_CANCELLED = _REG.counter(
+    "server_requests_cancelled_total",
+    "Requests abandoned because the client disconnected mid-response",
+)
+SERVER_DEADLINE_EXPIRED = _REG.counter(
+    "server_deadline_expirations_total",
+    "Requests that hit their deadline before completing",
+)
+SERVER_INFLIGHT = _REG.gauge(
+    "server_inflight_requests_current",
+    "scan/query requests currently executing",
+)
+SERVER_QUEUED = _REG.gauge(
+    "server_queued_requests_current",
+    "scan/query requests waiting for a worker slot",
+)
+SERVER_CONNS_OPENED = _REG.counter(
+    "server_connections_opened_total", "Client connections accepted"
+)
+SERVER_CONNS_CLOSED = _REG.counter(
+    "server_connections_closed_total", "Client connections torn down"
+)
+SERVER_CONNS = _REG.gauge(
+    "server_connections_current", "Client connections currently open"
+)
+SERVER_BYTES_SENT = _REG.counter(
+    "server_bytes_sent_total", "Payload bytes written to clients"
+)
+SERVER_BYTES_RECEIVED = _REG.counter(
+    "server_bytes_received_total", "Payload bytes read from clients"
+)
+SERVER_SCAN_BATCHES = _REG.counter(
+    "server_scan_batches_total", "Scan batch frames streamed to clients"
+)
+SERVER_SCAN_ROWS = _REG.counter(
+    "server_scan_rows_total", "Rows streamed to clients in scan batches"
+)
+SERVER_RESULT_CACHE_HITS = _REG.counter(
+    "server_result_cache_hits_total",
+    "Query results served from the (snapshot_id, plan) result cache",
+)
+SERVER_RESULT_CACHE_MISSES = _REG.counter(
+    "server_result_cache_misses_total",
+    "Query results computed because the result cache missed",
+)
+SERVER_PLAN_CACHE_HITS = _REG.counter(
+    "server_plan_cache_hits_total",
+    "Scan plans (pruned file sets) served from the plan cache",
+)
+SERVER_PLAN_CACHE_MISSES = _REG.counter(
+    "server_plan_cache_misses_total",
+    "Scan plans pruned afresh because the plan cache missed",
+)
+SERVER_PIN_CACHE_HITS = _REG.counter(
+    "server_pin_cache_hits_total",
+    "Requests that reused a cached pinned snapshot",
+)
+SERVER_PIN_CACHE_MISSES = _REG.counter(
+    "server_pin_cache_misses_total",
+    "Requests that had to pin a snapshot afresh",
+)
+SERVER_FOOTER_CACHE_HITS = _REG.counter(
+    "server_footer_cache_hits_total",
+    "Reader-pool lookups served without re-reading a footer",
+)
+SERVER_FOOTER_CACHE_MISSES = _REG.counter(
+    "server_footer_cache_misses_total",
+    "Reader-pool lookups that opened a file (footer read)",
+)
+SERVER_CACHE_INVALIDATIONS = _REG.counter(
+    "server_cache_invalidations_total",
+    "Entries dropped from server caches by mutation/commit invalidation",
+    labels=("cache",),
+)
+SERVER_POOLED_READERS = _REG.gauge(
+    "server_pooled_readers_current",
+    "Open BullionReaders held by server reader pools",
+)
+
 #: Every family above, for the lint test and the docs inventory.
 STANDARD_FAMILIES = tuple(sorted(f.name for f in _REG.families()))
 

@@ -1,0 +1,97 @@
+"""``repro-serve``: stand up a scan/query server over catalog tables.
+
+Usage::
+
+    repro-serve DIR [DIR ...] [--host H] [--port P]
+                [--workers N] [--max-queue N] [--deadline-ms MS]
+
+Each ``DIR`` is a transactional catalog table directory
+(:class:`~repro.catalog.DirectoryCatalogStore`); it is served under
+its basename, or pass ``NAME=DIR`` to choose the served name.  The
+process serves until interrupted; ``--port 0`` (the default) picks an
+ephemeral port and prints it, which is what the integration tests and
+the bench harness use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+
+from repro.catalog import CatalogTable, DirectoryCatalogStore
+from repro.server.net import BullionServer
+from repro.server.service import TableService
+
+__all__ = ["main"]
+
+
+def _open_tables(specs: list[str]) -> dict:
+    tables = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = "", spec
+        path = os.path.abspath(path)
+        if not os.path.isdir(os.path.join(path, "snapshots")):
+            raise FileNotFoundError(f"no catalog table at {path!r}")
+        name = name or os.path.basename(path.rstrip(os.sep))
+        if name in tables:
+            raise ValueError(f"two tables would serve as {name!r}")
+        tables[name] = CatalogTable(DirectoryCatalogStore(path))
+    return tables
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve catalog tables over the Bullion wire protocol.",
+    )
+    parser.add_argument(
+        "tables",
+        nargs="+",
+        metavar="[NAME=]DIR",
+        help="catalog table directory (served under NAME or its basename)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-queue", type=int, default=8)
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=30_000,
+        help="default per-request deadline (0 disables)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        tables = _open_tables(args.tables)
+    except (OSError, ValueError) as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 1
+    service = TableService(
+        tables,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        default_deadline_s=(
+            args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None
+        ),
+    )
+    server = BullionServer(service, host=args.host, port=args.port)
+    print(
+        f"serving {', '.join(sorted(tables))} "
+        f"on {server.host}:{server.port}",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

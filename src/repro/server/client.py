@@ -1,0 +1,225 @@
+"""Python client for the scan/query server.
+
+:class:`ServerClient` is a thin, synchronous wrapper over one
+connection: build a request document, send one frame, read the
+response frame(s), re-raise typed errors.  Responses keep the raw
+payload bytes alongside the decoded values — the differential harness
+asserts on the bytes, applications use the decoded tables/rows.
+
+One client is one connection and is **not** thread-safe; concurrency
+tests open one client per worker thread, which is also the intended
+production shape (the protocol is strictly request/response per
+connection).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from repro.core.table import Table
+from repro.server import protocol
+from repro.server.protocol import ProtocolError
+
+__all__ = ["ServerClient", "QueryReply", "ScanReply"]
+
+
+@dataclass
+class QueryReply:
+    """A query response: decoded rows plus the exact payload bytes."""
+
+    snapshot_id: int
+    rows: list
+    raw: bytes
+
+
+@dataclass
+class ScanReply:
+    """A scan response: decoded batches plus every frame's bytes."""
+
+    snapshot_id: int
+    columns: list
+    batches: list = field(default_factory=list)
+    rows: int = 0
+    raw_frames: list = field(default_factory=list)
+
+    def to_table(self) -> Table:
+        from repro.core.table import concat_tables
+
+        if not self.batches:
+            return Table({})
+        return concat_tables(self.batches)
+
+
+def _where_doc(where):
+    """Accept an Expr, a filter string, or an AST dict."""
+    if where is None or isinstance(where, (str, dict)):
+        return where
+    to_dict = getattr(where, "to_dict", None)
+    if to_dict is not None:
+        return to_dict()
+    raise TypeError(
+        f"where must be an Expr, string or dict, got {type(where).__name__}"
+    )
+
+
+class ServerClient:
+    """One connection to a :class:`~repro.server.net.BullionServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        default_deadline_ms: int | None = None,
+    ) -> None:
+        self.default_deadline_ms = default_deadline_ms
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    #: the underlying socket (fault tests sever it mid-stream)
+    @property
+    def sock(self) -> socket.socket:
+        return self._sock
+
+    # -- plumbing -------------------------------------------------------
+    def _send(self, doc: dict) -> None:
+        protocol.send_frame(self._sock, protocol.dumps_canonical(doc))
+
+    def _read(self) -> tuple[dict, bytes]:
+        payload = protocol.read_frame(self._sock)
+        if payload is None:
+            raise ConnectionError("server closed the connection")
+        doc = protocol.loads(payload)
+        err = doc.get("error")
+        if err is not None:
+            raise protocol.error_for(
+                err.get("code", "internal"), err.get("message", "")
+            )
+        return doc, payload
+
+    def _request(self, doc: dict) -> tuple[dict, bytes]:
+        self._send(doc)
+        return self._read()
+
+    def _stamp_deadline(self, doc: dict, deadline_ms) -> dict:
+        if deadline_ms is None:
+            deadline_ms = self.default_deadline_ms
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return doc
+
+    # -- simple ops -----------------------------------------------------
+    def ping(self, echo=None) -> dict:
+        doc = {"op": "ping"}
+        if echo is not None:
+            doc["echo"] = echo
+        return self._request(doc)[0]
+
+    def health(self) -> dict:
+        return self._request({"op": "health"})[0]
+
+    def metrics_text(self) -> str:
+        return self._request({"op": "metrics"})[0]["text"]
+
+    def tables(self) -> list:
+        return self._request({"op": "tables"})[0]["tables"]
+
+    def snapshot(self, table: str, *, snapshot_id=None, as_of=None) -> dict:
+        doc = {"op": "snapshot", "table": table}
+        if snapshot_id is not None:
+            doc["snapshot_id"] = snapshot_id
+        if as_of is not None:
+            doc["as_of"] = as_of
+        return self._request(doc)[0]
+
+    # -- query ----------------------------------------------------------
+    def query(
+        self,
+        table: str,
+        aggregates: list,
+        *,
+        where=None,
+        group_by=None,
+        snapshot_id=None,
+        as_of=None,
+        deadline_ms=None,
+    ) -> QueryReply:
+        doc: dict = {"op": "query", "table": table, "aggregates": aggregates}
+        if where is not None:
+            doc["where"] = _where_doc(where)
+        if group_by:
+            doc["group_by"] = group_by
+        if snapshot_id is not None:
+            doc["snapshot_id"] = snapshot_id
+        if as_of is not None:
+            doc["as_of"] = as_of
+        reply, raw = self._request(self._stamp_deadline(doc, deadline_ms))
+        return QueryReply(
+            snapshot_id=reply["snapshot_id"],
+            rows=protocol.decode_query_rows(reply["rows"]),
+            raw=raw,
+        )
+
+    # -- scan ------------------------------------------------------------
+    def scan(
+        self,
+        table: str,
+        columns: list,
+        *,
+        where=None,
+        batch_size=None,
+        widen_quantized=False,
+        snapshot_id=None,
+        as_of=None,
+        deadline_ms=None,
+    ) -> ScanReply:
+        """Run a scan to completion, collecting every batch.
+
+        Raises the server's typed error if any stream frame carries
+        one (e.g. ``deadline_exceeded`` mid-stream).
+        """
+        doc: dict = {"op": "scan", "table": table, "columns": columns}
+        if where is not None:
+            doc["where"] = _where_doc(where)
+        if batch_size is not None:
+            doc["batch_size"] = batch_size
+        if widen_quantized:
+            doc["widen_quantized"] = True
+        if snapshot_id is not None:
+            doc["snapshot_id"] = snapshot_id
+        if as_of is not None:
+            doc["as_of"] = as_of
+        self._send(self._stamp_deadline(doc, deadline_ms))
+        header, raw = self._read()
+        reply = ScanReply(
+            snapshot_id=header["snapshot_id"],
+            columns=header["columns"],
+            raw_frames=[raw],
+        )
+        while True:
+            frame, raw = self._read()
+            reply.raw_frames.append(raw)
+            if "batch" in frame:
+                reply.batches.append(protocol.decode_table(frame["batch"]))
+                continue
+            if frame.get("end"):
+                reply.rows = frame["rows"]
+                return reply
+            raise ProtocolError(
+                f"unexpected scan frame keys {sorted(frame)}"
+            )

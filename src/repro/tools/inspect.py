@@ -21,6 +21,9 @@ via ``pyproject.toml``, or run as ``python -m repro.tools.inspect``)::
     repro-inspect catalog files DIR [--snapshot ID] [--where EXPR]
     repro-inspect metrics [SNAPSHOT.json] [--format table|text|json]
     repro-inspect trace FILE [--top N]
+    repro-inspect server health|tables HOST:PORT
+    repro-inspect server query HOST:PORT TABLE --agg SPECS [--where EXPR]
+    repro-inspect server scan HOST:PORT TABLE --columns A,B [--where EXPR]
 
 Observability surfaces (:mod:`repro.obs`): ``metrics`` renders a
 written registry snapshot (``Registry.write_snapshot`` /
@@ -921,6 +924,92 @@ def _catalog_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
     return _run_guarded(parser, run)
 
 
+def _server_main(parser: argparse.ArgumentParser, argv: list[str]) -> int:
+    """Client for a running ``repro-serve`` instance."""
+    sub = argparse.ArgumentParser(
+        prog="repro-inspect server",
+        description="Talk to a running Bullion scan/query server.",
+    )
+    sub.add_argument(
+        "command", choices=["health", "tables", "query", "scan"]
+    )
+    sub.add_argument("address", metavar="HOST:PORT")
+    sub.add_argument("table", nargs="?", help="served table name")
+    sub.add_argument("--agg", help="aggregate specs, comma separated")
+    sub.add_argument("--columns", help="scan projection, comma separated")
+    sub.add_argument("--where", help="filter expression")
+    sub.add_argument("--group-by", help="group-by columns, comma separated")
+    sub.add_argument("--snapshot", type=int, default=None)
+    sub.add_argument("--deadline-ms", type=int, default=None)
+    args = sub.parse_args(argv)
+    host, sep, port_text = args.address.rpartition(":")
+    if not sep or not port_text.isdigit():
+        sub.exit(2, "repro-inspect: address must be HOST:PORT\n")
+    where = _parse_where_arg(sub, args.where) if args.where else None
+
+    def run() -> None:
+        from repro.server import ServerClient, ServerError
+
+        with ServerClient(host, int(port_text), timeout=30.0) as client:
+            try:
+                if args.command == "health":
+                    doc = client.health()
+                    for key in sorted(doc):
+                        if key not in ("ok", "op"):
+                            print(f"{key:16s} {doc[key]}")
+                elif args.command == "tables":
+                    for entry in client.tables():
+                        print(
+                            f"{entry['name']:20s} "
+                            f"snapshot={entry.get('snapshot_id', '?')} "
+                            f"files={entry.get('files', '?')} "
+                            f"rows={entry.get('rows', '?')}"
+                        )
+                elif args.command == "query":
+                    if not args.table or not args.agg:
+                        sub.exit(
+                            2, "repro-inspect: query needs TABLE --agg\n"
+                        )
+                    reply = client.query(
+                        args.table,
+                        [a.strip() for a in args.agg.split(",")],
+                        where=where,
+                        group_by=(
+                            [g.strip() for g in args.group_by.split(",")]
+                            if args.group_by
+                            else None
+                        ),
+                        snapshot_id=args.snapshot,
+                        deadline_ms=args.deadline_ms,
+                    )
+                    print(f"snapshot {reply.snapshot_id}")
+                    for row in reply.rows:
+                        print("  " + ", ".join(
+                            f"{k}={v}" for k, v in row.items()
+                        ))
+                else:  # scan
+                    if not args.table or not args.columns:
+                        sub.exit(
+                            2, "repro-inspect: scan needs TABLE --columns\n"
+                        )
+                    reply = client.scan(
+                        args.table,
+                        [c.strip() for c in args.columns.split(",")],
+                        where=where,
+                        snapshot_id=args.snapshot,
+                        deadline_ms=args.deadline_ms,
+                    )
+                    print(
+                        f"snapshot {reply.snapshot_id}: "
+                        f"{reply.rows} rows in "
+                        f"{len(reply.batches)} batches"
+                    )
+            except ServerError as exc:
+                sub.exit(1, f"repro-inspect: server error: {exc}\n")
+
+    return _run_guarded(sub, run)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Console entry point: inspect a Bullion file or catalog table."""
     parser = argparse.ArgumentParser(
@@ -948,6 +1037,8 @@ def main(argv: list[str] | None = None) -> int:
         status = _trace_main(parser, raw[1:])
     elif raw[:1] == ["cache"]:
         status = _cache_main(parser, raw[1:])
+    elif raw[:1] == ["server"]:
+        status = _server_main(parser, raw[1:])
     if status is not None:
         if dump_metrics:
             from repro.obs.metrics import default_registry

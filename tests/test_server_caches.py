@@ -1,0 +1,277 @@
+"""Metadata / result-cache behaviour, proven at the storage layer.
+
+A counting catalog store records every manifest read
+(``read_metadata``) and every file open (``open_data`` — each open
+costs one footer parse).  The serving layer's contract:
+
+* repeat queries and scans on a warm server do **zero** manifest reads
+  and **zero** file opens — metadata is parsed once per (snapshot,
+  file) for the life of the server;
+* a committed snapshot invalidates nothing retroactively: the next
+  HEAD request reads exactly the new snapshot's manifest and opens
+  exactly the new file, while requests pinned to old snapshots keep
+  hitting their caches;
+* an in-place compliance scrub (:func:`repro.core.deletion.delete_rows`
+  fires :func:`repro.core.chunk_cache.notify_mutation`) invalidates
+  exactly the entries whose snapshot references the mutated file —
+  entries for snapshots that never saw the file survive untouched —
+  and the recomputed response is byte-identical to a fresh library
+  replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import CatalogTable, MemoryCatalogStore
+from repro.core.chunk_cache import storage_identity
+from repro.core.deletion import delete_rows
+from repro.obs import families as fam
+from repro.core.table import Table
+from repro.obs.metrics import default_registry
+from repro.server import BullionServer, ServerClient, TableService
+from repro.server import protocol
+from repro.server.cache import KeyedCache, ReaderPool
+
+
+class CountingCatalogStore(MemoryCatalogStore):
+    """Counts manifest reads and data-file opens between phases."""
+
+    def __init__(self) -> None:
+        super().__init__("counting")
+        self.meta_reads = 0
+        self.data_opens = 0
+
+    def read_metadata(self, name: str) -> bytes:
+        self.meta_reads += 1
+        return super().read_metadata(name)
+
+    def open_data(self, file_id: str):
+        self.data_opens += 1
+        return super().open_data(file_id)
+
+    def begin_phase(self) -> None:
+        self.meta_reads = 0
+        self.data_opens = 0
+
+
+def _batch(lo: int, n: int, seed: int) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table({
+        "ts": np.arange(lo, lo + n, dtype=np.int64),
+        "v": rng.normal(size=n),
+        "region": rng.integers(0, 5, size=n).astype(np.int32),
+    })
+
+
+def _serve(store, table, **kwargs):
+    service = TableService({"events": table}, workers=2, **kwargs)
+    server = BullionServer(service)
+    client = ServerClient(server.host, server.port, timeout=30.0)
+    return server, client
+
+
+def test_warm_repeat_requests_read_no_metadata():
+    store = CountingCatalogStore()
+    table = CatalogTable.create(store)
+    for k in range(3):
+        table.append(_batch(k * 100, 100, seed=k))
+    server, client = _serve(store, table)
+    try:
+        # cold pass: parse everything once
+        client.query("events", ["count", "sum(v)"], where="region >= 1")
+        client.scan("events", ["ts", "v"], where="region = 2")
+        reg = default_registry()
+        store.begin_phase()
+        base = reg.snapshot()
+        for _ in range(5):
+            client.query(
+                "events", ["count", "sum(v)"], where="region >= 1"
+            )
+            client.scan("events", ["ts", "v"], where="region = 2")
+        assert store.meta_reads == 0, "warm queries re-read a manifest"
+        assert store.data_opens == 0, "warm queries re-read a footer"
+        delta = reg.delta(base)
+        assert delta.value("server_result_cache_hits_total") == 5
+        assert delta.value("server_plan_cache_hits_total") == 5
+        assert delta.value("server_footer_cache_misses_total") == 0
+    finally:
+        client.close()
+        server.close()
+
+
+def test_commit_costs_exactly_the_new_metadata():
+    store = CountingCatalogStore()
+    table = CatalogTable.create(store)
+    table.append(_batch(0, 100, seed=0))
+    table.append(_batch(100, 100, seed=1))
+    server, client = _serve(store, table)
+    try:
+        old = client.query("events", ["sum(v)"])
+        old_sid = old.snapshot_id
+        table.append(_batch(200, 100, seed=2))  # the racing committer
+        store.begin_phase()
+        head = client.query("events", ["sum(v)"])
+        assert head.snapshot_id == old_sid + 1
+        # commit already cached the new snapshot document in the
+        # table handle, so the only storage touch is the pin-time
+        # existence check — and never a re-read of the old manifests
+        assert store.meta_reads == 1
+        # exactly the new file's footer; the old readers stay pooled
+        assert store.data_opens == 1
+        # the old snapshot's entry was not invalidated by the commit
+        store.begin_phase()
+        past = client.query("events", ["sum(v)"], snapshot_id=old_sid)
+        assert past.raw == old.raw
+        assert store.meta_reads == 0 and store.data_opens == 0
+    finally:
+        client.close()
+        server.close()
+
+
+def test_scrub_invalidates_exactly_the_affected_entries():
+    store = CountingCatalogStore()
+    table = CatalogTable.create(store)
+    s1 = table.append(_batch(0, 100, seed=0))
+    s2 = table.append(_batch(100, 100, seed=1))
+    (file_b,) = sorted(s2.file_ids() - s1.file_ids())
+    server, client = _serve(store, table)
+    try:
+        reg = default_registry()
+        old = client.query(
+            "events", ["sum(ts)"], snapshot_id=s1.snapshot_id
+        )
+        head = client.query("events", ["sum(ts)"])
+        assert head.snapshot_id == s2.snapshot_id
+
+        # compliance scrub, outside the catalog: rows 0-2 of file B
+        storage = store.open_data(file_b)
+        base = reg.snapshot()
+        store.begin_phase()
+        delete_rows(storage, [0, 1, 2])
+        delta = reg.delta(base)
+        assert (
+            delta.value(
+                "server_cache_invalidations_total", cache="readers"
+            )
+            == 1
+        )
+        assert (
+            delta.value(
+                "server_cache_invalidations_total", cache="results"
+            )
+            == 1  # only the head entry references file B
+        )
+
+        # the S1 entry survived: cache hit, zero storage traffic,
+        # byte-identical to the pre-scrub response
+        store.begin_phase()
+        past = client.query(
+            "events", ["sum(ts)"], snapshot_id=s1.snapshot_id
+        )
+        assert past.raw == old.raw
+        assert store.meta_reads == 0 and store.data_opens == 0
+
+        # the head entry was dropped: recomputed with exactly one
+        # file re-opened (the scrubbed one), and byte-identical to a
+        # fresh library replay through an independent table handle
+        store.begin_phase()
+        fresh = client.query("events", ["sum(ts)"])
+        assert store.data_opens == 1
+        assert fresh.raw != head.raw, "scrub must change the answer"
+        replica = CatalogTable(store)
+        pin = replica.pin(snapshot_id=s2.snapshot_id)
+        try:
+            plan = protocol.canonical_query_plan(
+                {"aggregates": ["sum(ts)"]}
+            )
+            assert fresh.raw == protocol.replay_query_frame(
+                pin, s2.snapshot_id, plan
+            )
+        finally:
+            pin.release()
+    finally:
+        client.close()
+        server.close()
+
+
+def test_mutation_of_unknown_storage_is_a_noop():
+    store = CountingCatalogStore()
+    table = CatalogTable.create(store)
+    table.append(_batch(0, 50, seed=0))
+    server, client = _serve(store, table)
+    try:
+        warm = client.query("events", ["sum(ts)"])
+        # scrub a file the server never opened (a different store)
+        other = MemoryCatalogStore("other")
+        other_table = CatalogTable.create(other)
+        snap = other_table.append(_batch(0, 50, seed=9))
+        (fid,) = snap.file_ids()
+        delete_rows(other.open_data(fid), [0])
+        store.begin_phase()
+        again = client.query("events", ["sum(ts)"])
+        assert again.raw == warm.raw
+        assert store.meta_reads == 0 and store.data_opens == 0
+    finally:
+        client.close()
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# cache structures in isolation
+# ---------------------------------------------------------------------------
+
+def test_reader_pool_shares_footers_and_drains_busy_entries():
+    store = CountingCatalogStore()
+    table = CatalogTable.create(store)
+    snap = table.append(_batch(0, 50, seed=0))
+    (fid,) = snap.file_ids()
+    store.begin_phase()
+    pool = ReaderPool(store, capacity=4)
+    r1 = pool.acquire(fid)
+    r2 = pool.acquire(fid)
+    assert r1 is r2 and store.data_opens == 1
+    # invalidate while busy: the entry drains instead of vanishing
+    # under its holders, and the next acquire opens afresh
+    assert pool.invalidate_file(fid)
+    r3 = pool.acquire(fid)
+    assert r3 is not r1 and store.data_opens == 2
+    pool.release(fid, r3)
+    pool.release(fid, r1)
+    pool.release(fid, r2)
+    assert len(pool) == 1
+    identity = storage_identity(store.open_data(fid))
+    assert pool.file_for_identity(identity) == fid
+    pool.close()
+
+
+def test_keyed_cache_invalidates_by_file_tag():
+    cache = KeyedCache(
+        8,
+        fam.SERVER_RESULT_CACHE_HITS,
+        fam.SERVER_RESULT_CACHE_MISSES,
+        "results",
+    )
+    cache.put(b"a", 1, file_ids={"f1"})
+    cache.put(b"b", 2, file_ids={"f1", "f2"})
+    cache.put(b"c", 3, file_ids={"f3"})
+    assert cache.invalidate_files({"f1"}) == 2
+    assert cache.get(b"a") is None and cache.get(b"b") is None
+    assert cache.get(b"c") == 3
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_keyed_cache_lru_eviction():
+    cache = KeyedCache(
+        2,
+        fam.SERVER_PLAN_CACHE_HITS,
+        fam.SERVER_PLAN_CACHE_MISSES,
+        "plans",
+    )
+    cache.put(b"a", 1)
+    cache.put(b"b", 2)
+    assert cache.get(b"a") == 1  # refresh a
+    cache.put(b"c", 3)  # evicts b, the least recently used
+    assert cache.get(b"b") is None
+    assert cache.get(b"a") == 1 and cache.get(b"c") == 3
